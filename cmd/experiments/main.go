@@ -1,0 +1,152 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-cycles N] [-benchmarks a,b,c] [table1|table2|table3|table4|table5|table6|fig6|fig7|fig8|all]...
+//
+// Two extension experiments beyond the paper's evaluation run when named
+// explicitly: "temporal" (stop-go vs DVFS fallbacks) and "combined" (all
+// three spatial techniques at once, on each floorplan).
+//
+// Each experiment runs its benchmark × technique matrix on the floorplan
+// variant the paper uses and prints the corresponding table or figure
+// data. Runs are deterministic; see EXPERIMENTS.md for reference output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/power"
+	"repro/internal/regfile"
+)
+
+func main() {
+	cycles := flag.Int64("cycles", experiments.DefaultCycles,
+		"cycles per run (default covers ~120ms of accelerated thermal time)")
+	benchList := flag.String("benchmarks", "",
+		"comma-separated benchmark subset for fig6/fig7/fig8 (default: all 22)")
+	quiet := flag.Bool("quiet", false, "suppress per-run progress")
+	bars := flag.Bool("bars", false, "also render figures as ASCII bar charts")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	var benches []string
+	if *benchList != "" {
+		benches = strings.Split(*benchList, ",")
+	}
+
+	ids := map[string]bool{}
+	for _, a := range args {
+		if a == "all" {
+			for _, id := range []string{"table1", "table2", "table3", "table4", "table5", "table6", "fig6", "fig7", "fig8"} {
+				ids[id] = true
+			}
+			continue
+		}
+		// "temporal" and "combined" are extensions beyond the paper's
+		// evaluation and run only when named explicitly.
+		ids[a] = true
+	}
+
+	var progress *os.File
+	if !*quiet {
+		progress = os.Stderr
+	}
+
+	runAndPrint := func(spec experiments.Spec, render func(*experiments.Matrix) string) {
+		m, err := experiments.Run(spec, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println(render(m))
+		if *bars && strings.HasPrefix(spec.ID, "fig") {
+			fmt.Println(m.BarChart(56))
+		}
+	}
+
+	for _, id := range []string{"table1", "table2", "table3", "table4", "fig6", "table5", "fig7", "table6", "fig8", "temporal", "combined"} {
+		if !ids[id] {
+			continue
+		}
+		switch id {
+		case "table1":
+			printTable1()
+		case "table2":
+			printTable2()
+		case "table3":
+			printTable3()
+		case "table4":
+			runAndPrint(experiments.Table4(*cycles), (*experiments.Matrix).Table4Report)
+		case "fig6":
+			runAndPrint(experiments.Fig6(*cycles, benches...), (*experiments.Matrix).FigureReport)
+		case "table5":
+			runAndPrint(experiments.Table5(*cycles), (*experiments.Matrix).Table5Report)
+		case "fig7":
+			runAndPrint(experiments.Fig7(*cycles, benches...), (*experiments.Matrix).FigureReport)
+		case "table6":
+			runAndPrint(experiments.Table6(*cycles), (*experiments.Matrix).Table6Report)
+		case "fig8":
+			runAndPrint(experiments.Fig8(*cycles, benches...), (*experiments.Matrix).FigureReport)
+		case "temporal":
+			runAndPrint(experiments.Temporal(*cycles, benches...), (*experiments.Matrix).FigureReport)
+		case "combined":
+			for _, plan := range []config.FloorplanVariant{
+				config.PlanIQConstrained, config.PlanALUConstrained, config.PlanRFConstrained,
+			} {
+				runAndPrint(experiments.Combined(*cycles, plan, benches...), (*experiments.Matrix).FigureReport)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+	}
+}
+
+func printTable1() {
+	fmt.Println("Register-port mappings (Table 1)")
+	fmt.Printf("%-20s %-45s %-45s\n", "power-density", "balanced mapping", "priority mapping")
+	for _, r := range regfile.Table1() {
+		fmt.Printf("%-20s %-45s %-45s\n", r.PowerDensity, r.Balanced, r.Priority)
+	}
+	fmt.Println()
+}
+
+func printTable2() {
+	c := config.Default()
+	fmt.Println("Processor parameters (Table 2)")
+	rows := [][2]string{
+		{"Out-of-order issue", fmt.Sprintf("%d instructions/cycle", c.IssueWidth)},
+		{"Active list", fmt.Sprintf("%d entries (%d-entry LSQ)", c.ActiveList, c.LSQEntries)},
+		{"Issue queue", fmt.Sprintf("%d-entries each Int and FP", c.IQEntries)},
+		{"Caches", fmt.Sprintf("%dKB %d-way %d-cycle L1s (%d ports); %dM %d-way unified L2",
+			c.L1SizeKB, c.L1Assoc, c.L1Latency, c.L1Ports, c.L2SizeKB/1024, c.L2Assoc)},
+		{"Memory", fmt.Sprintf("%d cycles", c.MemLatency)},
+		{"Heatsink thickness", fmt.Sprintf("%.1f mm", c.HeatsinkThicknessMM)},
+		{"Convection resistance", fmt.Sprintf("%.1f K/W", c.ConvectionRes)},
+		{"Thermal cooling time", fmt.Sprintf("%.0f ms", c.CoolingTimeMS)},
+		{"Maximum temperature", fmt.Sprintf("%.0f K", c.MaxTempK)},
+		{"Frequency, voltage, technology", fmt.Sprintf("%.1f GHz; %.1fV; %dnm",
+			c.FrequencyGHz, c.VddVolts, c.TechnologyNM)},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-32s %s\n", r[0], r[1])
+	}
+	fmt.Println()
+}
+
+func printTable3() {
+	fmt.Println("Issue energy by component, nJ (Table 3)")
+	for _, r := range power.Table3() {
+		fmt.Printf("  %-28s (%s) %7.4f\n", r.Component, r.Unit, r.NanoJ)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,34 @@
+// Command floorplan prints the three constrained floorplans of the paper's
+// Figure 5 as ASCII layouts with per-block areas, reproducing the area
+// scaling that makes each studied resource the thermal bottleneck.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/floorplan"
+)
+
+func main() {
+	areas := flag.Bool("areas", false, "print per-block areas")
+	width := flag.Int("width", 100, "diagram width in characters")
+	flag.Parse()
+
+	for _, v := range []config.FloorplanVariant{
+		config.PlanIQConstrained,
+		config.PlanALUConstrained,
+		config.PlanRFConstrained,
+	} {
+		p := floorplan.Build(v)
+		fmt.Println(p.ASCII(*width))
+		if *areas {
+			fmt.Printf("%-10s %10s\n", "block", "area (mm²)")
+			for _, b := range p.Blocks {
+				fmt.Printf("%-10s %10.3f\n", b.Name, b.Area()*1e6)
+			}
+			fmt.Printf("%-10s %10.3f\n\n", "TOTAL", p.TotalArea()*1e6)
+		}
+	}
+}

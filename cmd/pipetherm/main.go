@@ -1,0 +1,106 @@
+// Command pipetherm runs one benchmark under one configuration and prints
+// a detailed report: IPC, thermal-management events, and per-block
+// temperatures.
+//
+// Usage:
+//
+//	pipetherm [-bench eon] [-plan iq|alu|rf] [-cycles N]
+//	          [-toggle] [-alu base|fgt|rr] [-rfmap priority|balanced|complete]
+//	          [-rfturnoff] [-temps]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+func main() {
+	bench := flag.String("bench", "eon", "benchmark name (SPEC2000 subset)")
+	planName := flag.String("plan", "iq", "floorplan variant: iq, alu, or rf")
+	cycles := flag.Int64("cycles", 4_000_000, "run length in cycles")
+	toggle := flag.Bool("toggle", false, "enable issue-queue activity toggling")
+	aluPolicy := flag.String("alu", "base", "ALU policy: base, fgt, or rr")
+	rfMap := flag.String("rfmap", "priority", "register-file mapping: priority, balanced, complete")
+	rfTurnoff := flag.Bool("rfturnoff", false, "enable register-file copy turnoff")
+	showTemps := flag.Bool("temps", false, "print per-block temperatures")
+	flag.Parse()
+
+	cfg := config.Default()
+	switch *planName {
+	case "iq":
+		cfg.Plan = config.PlanIQConstrained
+	case "alu":
+		cfg.Plan = config.PlanALUConstrained
+	case "rf":
+		cfg.Plan = config.PlanRFConstrained
+	default:
+		fatalf("unknown plan %q", *planName)
+	}
+	if *toggle {
+		cfg.Techniques.IQ = config.IQToggle
+	}
+	switch *aluPolicy {
+	case "base":
+	case "fgt":
+		cfg.Techniques.ALU = config.ALUFineGrain
+	case "rr":
+		cfg.Techniques.ALU = config.ALURoundRobin
+	default:
+		fatalf("unknown ALU policy %q", *aluPolicy)
+	}
+	switch *rfMap {
+	case "priority":
+		cfg.Techniques.RFMap = config.MapPriority
+	case "balanced":
+		cfg.Techniques.RFMap = config.MapBalanced
+	case "complete":
+		cfg.Techniques.RFMap = config.MapCompletelyBalanced
+	default:
+		fatalf("unknown register-file mapping %q", *rfMap)
+	}
+	cfg.Techniques.RFTurnoff = *rfTurnoff
+
+	s, err := sim.NewByName(cfg, *bench)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	r := s.RunCycles(*cycles)
+
+	fmt.Printf("benchmark    %s\n", r.Benchmark)
+	fmt.Printf("floorplan    %v\n", r.Plan)
+	fmt.Printf("techniques   %v\n", r.Techniques)
+	fmt.Printf("cycles       %d (%d active, %d stalled)\n", r.Cycles, r.ActiveCycles, r.StallCycles)
+	fmt.Printf("committed    %d instructions\n", r.Committed)
+	fmt.Printf("IPC          %.3f\n", r.IPC)
+	fmt.Printf("chip power   %.1f W (average)\n", r.AvgChipPowerW)
+	fmt.Printf("events       %d cooling stalls, %d IQ toggles (%d int / %d fp), %d ALU turnoffs, %d RF-copy turnoffs\n",
+		r.Stalls, r.IntToggles+r.FPToggles, r.IntToggles, r.FPToggles, r.ALUTurnoffs, r.RFCopyTurnoffs)
+	hot, temp := r.HottestBlock()
+	fmt.Printf("hottest      %s at %.1f K average\n", hot, temp)
+
+	if *showTemps {
+		fmt.Println("\nper-block temperatures (avg / peak, K):")
+		names := s.Plan.Blocks
+		idx := make([]int, len(names))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			return r.AvgTemp(names[idx[a]].Name) > r.AvgTemp(names[idx[b]].Name)
+		})
+		for _, i := range idx {
+			n := names[i].Name
+			fmt.Printf("  %-10s %7.2f / %7.2f\n", n, r.AvgTemp(n), r.PeakTemp(n))
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

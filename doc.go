@@ -1,0 +1,25 @@
+// Package repro is a self-contained Go reproduction of Powell, Schuchman
+// & Vijaykumar, "Balancing Resource Utilization to Mitigate Power Density
+// in Processor Pipelines" (MICRO 2005).
+//
+// The module builds, from scratch and on the standard library only, every
+// system the paper's evaluation depends on:
+//
+//   - a 6-wide out-of-order processor simulator with compacting issue
+//     queues, serialized select trees, and replicated register files
+//     (internal/pipeline and its substrates);
+//   - per-event power accounting using the paper's Table 3 circuit
+//     energies (internal/power);
+//   - a HotSpot-style RC thermal network over an EV6-style floorplan with
+//     per-resource-copy blocks (internal/thermal, internal/floorplan);
+//   - deterministic synthetic workloads standing in for the paper's 22
+//     SPEC2000 benchmarks (internal/trace);
+//   - the paper's contribution, a dynamic thermal manager implementing
+//     activity toggling, fine-grain ALU turnoff and register-file copy
+//     turnoff with priority mapping (internal/core).
+//
+// The benchmarks in this package (bench_test.go) regenerate each of the
+// paper's tables and figures on shortened windows; cmd/experiments runs
+// the full-length matrices recorded in EXPERIMENTS.md. See README.md for
+// a tour and DESIGN.md for the substitution and calibration rationale.
+package repro

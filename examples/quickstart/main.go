@@ -1,0 +1,54 @@
+// Quickstart: run one benchmark on the issue-queue-constrained machine
+// with and without activity toggling, and compare.
+//
+//	go run ./examples/quickstart
+//
+// This is the smallest end-to-end use of the library: build a
+// configuration, pick a benchmark profile, wire a simulator, run it for a
+// fixed thermal window, and inspect the result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/config"
+	"repro/internal/floorplan"
+	"repro/internal/sim"
+)
+
+func main() {
+	const benchmark = "gzip"
+	const cycles = 4_000_000 // ~120 ms of accelerated thermal time
+
+	// Baseline: conventional compacting issue queue. When either queue
+	// half hits the 358 K threshold the whole core stalls for the
+	// package's 10 ms cooling time.
+	base := runOnce(benchmark, cycles, config.Techniques{})
+
+	// Activity toggling (the paper's §2.1): the head/tail configuration
+	// toggles between the queue halves whenever the actively heated half
+	// is more than 0.5 K hotter than the other.
+	toggled := runOnce(benchmark, cycles, config.Techniques{IQ: config.IQToggle})
+
+	fmt.Printf("benchmark: %s on the issue-queue-constrained floorplan\n\n", benchmark)
+	fmt.Printf("%-22s %8s %8s %10s %14s %14s\n",
+		"configuration", "IPC", "stalls", "toggles", "IntQ head (K)", "IntQ tail (K)")
+	for _, r := range []*sim.Result{base, toggled} {
+		fmt.Printf("%-22s %8.3f %8d %10d %14.2f %14.2f\n",
+			r.Techniques.IQ.String(), r.IPC, r.Stalls, r.IntToggles+r.FPToggles,
+			r.AvgTemp(floorplan.IntQ0), r.AvgTemp(floorplan.IntQ1))
+	}
+	fmt.Printf("\nspeedup from activity toggling: %+.1f%%\n", (toggled.IPC/base.IPC-1)*100)
+}
+
+func runOnce(benchmark string, cycles int64, tech config.Techniques) *sim.Result {
+	cfg := config.Default()
+	cfg.Plan = config.PlanIQConstrained
+	cfg.Techniques = tech
+	s, err := sim.NewByName(cfg, benchmark)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s.RunCycles(cycles)
+}

@@ -1,0 +1,208 @@
+// Package cache implements the simulated memory hierarchy: set-associative
+// L1 instruction and data caches backed by a unified L2 and a fixed-latency
+// main memory (Table 2: 64 KB 4-way 2-cycle L1s, 2 MB 8-way unified L2,
+// 250-cycle memory). Cache behaviour shapes the ILP that reaches the
+// back-end: memory-bound workloads keep the issue queue drained and cool,
+// while cache-resident workloads sustain the bursts that overheat it.
+package cache
+
+import "fmt"
+
+// Cache is one set-associative cache level with true-LRU replacement. It
+// tracks tags only (data values live in the architectural memory model).
+type Cache struct {
+	sets      int
+	ways      int
+	lineShift uint
+	setMask   uint64
+	tags      []uint64 // sets*ways
+	valid     []bool
+	stamp     []uint64 // LRU timestamps
+	tick      uint64
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewCache builds a cache of sizeKB kilobytes with the given associativity
+// and line size in bytes. Size, associativity and line size must yield a
+// power-of-two number of sets.
+func NewCache(sizeKB, assoc, lineB int) *Cache {
+	if sizeKB <= 0 || assoc <= 0 || lineB <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	lines := sizeKB * 1024 / lineB
+	sets := lines / assoc
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: %d sets not a power of two", sets))
+	}
+	shift := uint(0)
+	for 1<<shift < lineB {
+		shift++
+	}
+	if 1<<shift != lineB {
+		panic("cache: line size not a power of two")
+	}
+	return &Cache{
+		sets:      sets,
+		ways:      assoc,
+		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		tags:      make([]uint64, sets*assoc),
+		valid:     make([]bool, sets*assoc),
+		stamp:     make([]uint64, sets*assoc),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Access looks up addr, fills the line on a miss (evicting the LRU way),
+// and returns whether the access hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.Accesses++
+	c.tick++
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			c.stamp[base+w] = c.tick
+			return true
+		}
+	}
+	c.Misses++
+	// Fill: pick an invalid way, else the LRU way.
+	victim := base
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[base+w] {
+			victim = base + w
+			goto fill
+		}
+		if c.stamp[base+w] < c.stamp[victim] {
+			victim = base + w
+		}
+	}
+fill:
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.stamp[victim] = c.tick
+	return false
+}
+
+// Probe reports whether addr is resident without updating LRU state or
+// statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	line := addr >> c.lineShift
+	base := int(line&c.setMask) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// MissRate returns misses/accesses, or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.Accesses, c.Misses, c.tick = 0, 0, 0
+}
+
+// Level identifies where an access was satisfied.
+type Level uint8
+
+// Hierarchy levels.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelMem
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelMem:
+		return "memory"
+	}
+	return fmt.Sprintf("Level(%d)", uint8(l))
+}
+
+// Hierarchy bundles the two L1s, the unified L2 and main memory latency.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+
+	L1Latency  int
+	L2Latency  int
+	MemLatency int
+}
+
+// NewHierarchy builds the Table 2 memory system.
+func NewHierarchy(l1KB, l1Assoc, lineB, l1Lat, l2KB, l2Assoc, l2Lat, memLat int) *Hierarchy {
+	return &Hierarchy{
+		L1I:        NewCache(l1KB, l1Assoc, lineB),
+		L1D:        NewCache(l1KB, l1Assoc, lineB),
+		L2:         NewCache(l2KB, l2Assoc, lineB),
+		L1Latency:  l1Lat,
+		L2Latency:  l2Lat,
+		MemLatency: memLat,
+	}
+}
+
+// Data performs a data access and returns its total latency in cycles and
+// the level that satisfied it. Misses propagate down and fill upward
+// (non-inclusive fill-on-miss).
+func (h *Hierarchy) Data(addr uint64) (latency int, level Level) {
+	if h.L1D.Access(addr) {
+		return h.L1Latency, LevelL1
+	}
+	if h.L2.Access(addr) {
+		return h.L1Latency + h.L2Latency, LevelL2
+	}
+	return h.L1Latency + h.L2Latency + h.MemLatency, LevelMem
+}
+
+// Inst performs an instruction fetch access.
+func (h *Hierarchy) Inst(addr uint64) (latency int, level Level) {
+	if h.L1I.Access(addr) {
+		return h.L1Latency, LevelL1
+	}
+	if h.L2.Access(addr) {
+		return h.L1Latency + h.L2Latency, LevelL2
+	}
+	return h.L1Latency + h.L2Latency + h.MemLatency, LevelMem
+}
+
+// WarmData touches addr in the data path without recording statistics
+// anywhere but the caches themselves; used for cache warmup before
+// measurement, mirroring the paper's L2 warmup during fast-forward.
+func (h *Hierarchy) WarmData(addr uint64) {
+	if !h.L1D.Access(addr) {
+		h.L2.Access(addr)
+	}
+}
+
+// Reset clears all levels.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+}

@@ -1,0 +1,28 @@
+package config_test
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// ExampleDefault shows the Table 2 machine and how technique selections
+// compose onto it.
+func ExampleDefault() {
+	cfg := config.Default()
+	fmt.Printf("%d-wide, %d-entry active list, %d-entry issue queues\n",
+		cfg.IssueWidth, cfg.ActiveList, cfg.IQEntries)
+	fmt.Printf("threshold %.0f K, cooling %.0f ms\n", cfg.MaxTempK, cfg.CoolingTimeMS)
+
+	cfg.Techniques = config.Techniques{
+		IQ:        config.IQToggle,
+		ALU:       config.ALUFineGrain,
+		RFMap:     config.MapPriority,
+		RFTurnoff: true,
+	}
+	fmt.Println(cfg.Techniques)
+	// Output:
+	// 6-wide, 128-entry active list, 32-entry issue queues
+	// threshold 358 K, cooling 10 ms
+	// iq=activity-toggling alu=fine-grain-turnoff rfmap=priority rfturnoff=true
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// testCycles keeps experiment tests fast; thermal behaviour is validated
+// at full length by the benchmarks and EXPERIMENTS.md runs.
+const testCycles = 150_000
+
+func TestAllBenchmarksCount(t *testing.T) {
+	if got := len(AllBenchmarks()); got != 22 {
+		t.Fatalf("%d benchmarks, want 22", got)
+	}
+}
+
+func TestSpecConstructors(t *testing.T) {
+	cases := []struct {
+		spec     Spec
+		plan     config.FloorplanVariant
+		variants int
+		benches  int
+	}{
+		{Fig6(0), config.PlanIQConstrained, 2, 0},
+		{Table4(0), config.PlanIQConstrained, 2, 3},
+		{Fig7(0), config.PlanALUConstrained, 3, 0},
+		{Table5(0), config.PlanALUConstrained, 3, 2},
+		{Fig8(0), config.PlanRFConstrained, 4, 0},
+		{Table6(0), config.PlanRFConstrained, 4, 1},
+	}
+	seen := map[string]bool{}
+	for _, c := range cases {
+		if c.spec.Plan != c.plan {
+			t.Errorf("%s: plan %v", c.spec.ID, c.spec.Plan)
+		}
+		if len(c.spec.Variants) != c.variants {
+			t.Errorf("%s: %d variants", c.spec.ID, len(c.spec.Variants))
+		}
+		if len(c.spec.Benchmarks) != c.benches {
+			t.Errorf("%s: %d benchmarks", c.spec.ID, len(c.spec.Benchmarks))
+		}
+		if seen[c.spec.ID] {
+			t.Errorf("duplicate id %s", c.spec.ID)
+		}
+		seen[c.spec.ID] = true
+	}
+}
+
+func TestFig8VariantsMatchPaper(t *testing.T) {
+	s := Fig8(0)
+	want := map[string]config.Techniques{
+		"fgt+priority":  {RFMap: config.MapPriority, RFTurnoff: true},
+		"fgt+balanced":  {RFMap: config.MapBalanced, RFTurnoff: true},
+		"balanced-only": {RFMap: config.MapBalanced},
+		"priority-only": {RFMap: config.MapPriority},
+	}
+	for _, v := range s.Variants {
+		w, ok := want[v.Name]
+		if !ok {
+			t.Errorf("unexpected variant %q", v.Name)
+			continue
+		}
+		if v.Tech != w {
+			t.Errorf("%s: techniques %+v, want %+v", v.Name, v.Tech, w)
+		}
+	}
+}
+
+func fast(s Spec) Spec {
+	s.Warmup = 50_000
+	return s
+}
+
+func TestRunMatrixAndReports(t *testing.T) {
+	spec := fast(Fig6(testCycles, "eon", "art"))
+	var progress bytes.Buffer
+	m, err := Run(spec, &progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Cells) != 4 {
+		t.Fatalf("%d cells", len(m.Cells))
+	}
+	if !strings.Contains(progress.String(), "fig6") {
+		t.Error("no progress output")
+	}
+	if r := m.Get("eon", "base"); r == nil || r.IPC <= 0 {
+		t.Fatal("missing eon/base result")
+	}
+	if m.Get("eon", "nope") != nil || m.Get("nope", "base") != nil {
+		t.Fatal("Get invented a result")
+	}
+	bs := m.Benchmarks()
+	if len(bs) != 2 || bs[0] != "art" || bs[1] != "eon" {
+		t.Fatalf("benchmarks %v", bs)
+	}
+
+	rep := m.FigureReport()
+	for _, want := range []string{"eon", "art", "activity-toggling", "speedup"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("figure report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestTableReports(t *testing.T) {
+	m4, err := Run(fast(Table4(testCycles)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := m4.Table4Report()
+	for _, want := range []string{"art", "facerec", "mesa", "tail", "head"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("table4 missing %q", want)
+		}
+	}
+
+	m5, err := Run(fast(Table5(testCycles)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep5 := m5.Table5Report()
+	for _, want := range []string{"parser", "perlbmk", "round-robin", "ALU0", "ALU5"} {
+		if !strings.Contains(rep5, want) {
+			t.Errorf("table5 missing %q", want)
+		}
+	}
+
+	m6, err := Run(fast(Table6(testCycles)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep6 := m6.Table6Report()
+	for _, want := range []string{"eon", "fgt+priority", "copy0", "turnoffs"} {
+		if !strings.Contains(rep6, want) {
+			t.Errorf("table6 missing %q", want)
+		}
+	}
+}
+
+func TestSpeedupMath(t *testing.T) {
+	m, err := Run(fast(Fig6(testCycles, "eon")), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := m.Get("eon", "base").IPC
+	tog := m.Get("eon", "activity-toggling").IPC
+	want := tog/base - 1
+	if got := m.Speedup("eon", "activity-toggling", "base"); got != want {
+		t.Fatalf("speedup %v, want %v", got, want)
+	}
+	if got := m.Speedup("eon", "activity-toggling", "missing"); got != 0 {
+		t.Fatalf("missing variant speedup %v", got)
+	}
+	mean, n := m.MeanSpeedup("activity-toggling", "base", false)
+	if n != 1 || mean != want {
+		t.Fatalf("mean %v n=%d", mean, n)
+	}
+}
+
+func TestTemporalAndCombinedSpecs(t *testing.T) {
+	tp := Temporal(0)
+	if len(tp.Variants) != 4 || tp.Plan != config.PlanIQConstrained {
+		t.Fatalf("temporal spec %+v", tp)
+	}
+	cb := Combined(0, config.PlanALUConstrained)
+	if len(cb.Variants) != 2 || cb.Plan != config.PlanALUConstrained {
+		t.Fatalf("combined spec %+v", cb)
+	}
+	if cb.Variants[1].Tech.ALU != config.ALUFineGrain || !cb.Variants[1].Tech.RFTurnoff {
+		t.Fatal("combined variant missing techniques")
+	}
+	m, err := Run(fast(Temporal(testCycles, "eon")), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Get("eon", "dvfs") == nil {
+		t.Fatal("dvfs cell missing")
+	}
+}
+
+func TestRunRejectsUnknownBenchmark(t *testing.T) {
+	if _, err := Run(fast(Fig6(testCycles, "doom3")), nil); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestDefaultCyclesApplied(t *testing.T) {
+	spec := Fig6(0, "eon")
+	if spec.Cycles != 0 {
+		t.Fatal("constructor should leave zero for default")
+	}
+	// Run applies the default; use a tiny override to avoid a long test.
+	spec.Cycles = testCycles
+	spec.Warmup = 50_000
+	if _, err := Run(spec, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	m, err := Run(fast(Fig6(testCycles, "eon")), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart := m.BarChart(40)
+	for _, want := range []string{"eon", "legend:", "base", "activity-toggling", "|"} {
+		if !strings.Contains(chart, want) {
+			t.Errorf("bar chart missing %q:\n%s", want, chart)
+		}
+	}
+	if m2 := (&Matrix{Spec: Fig6(0)}); !strings.Contains(m2.BarChart(0), "no data") {
+		t.Error("empty matrix chart")
+	}
+}

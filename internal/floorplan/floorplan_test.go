@@ -1,0 +1,211 @@
+package floorplan
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+)
+
+var variants = []config.FloorplanVariant{
+	config.PlanIQConstrained,
+	config.PlanALUConstrained,
+	config.PlanRFConstrained,
+}
+
+func TestAllBlocksPresent(t *testing.T) {
+	want := []string{
+		ICache, DCache, BPred, ITB, DTB, LdStQ,
+		IntMap, IntQ0, IntQ1, IntReg0, IntReg1,
+		FPMap, FPQ0, FPQ1, FPReg, FPMul,
+	}
+	for i := 0; i < 6; i++ {
+		want = append(want, IntExec(i))
+	}
+	for i := 0; i < 4; i++ {
+		want = append(want, FPAdd(i))
+	}
+	for _, v := range variants {
+		p := Build(v)
+		for _, name := range want {
+			if !p.Has(name) {
+				t.Errorf("%v: missing block %s", v, name)
+			}
+		}
+		if p.NumBlocks() != len(want) {
+			t.Errorf("%v: %d blocks, want %d", v, p.NumBlocks(), len(want))
+		}
+	}
+}
+
+func TestIndexPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Index of unknown block did not panic")
+		}
+	}()
+	Build(config.PlanIQConstrained).Index("Nonexistent")
+}
+
+func TestConstantDieArea(t *testing.T) {
+	// The paper scales areas, not total power: all variants must cover
+	// the same die area.
+	base := Build(config.PlanIQConstrained).TotalArea()
+	for _, v := range variants {
+		got := Build(v).TotalArea()
+		if math.Abs(got-base)/base > 1e-9 {
+			t.Errorf("%v: area %.3e, want %.3e", v, got, base)
+		}
+	}
+}
+
+func TestNoOverlapNoGaps(t *testing.T) {
+	for _, v := range variants {
+		p := Build(v)
+		// Pairwise overlap check.
+		for i := 0; i < len(p.Blocks); i++ {
+			for j := i + 1; j < len(p.Blocks); j++ {
+				a, b := p.Blocks[i], p.Blocks[j]
+				xOverlap := math.Min(a.X+a.W, b.X+b.W) - math.Max(a.X, b.X)
+				yOverlap := math.Min(a.Y+a.H, b.Y+b.H) - math.Max(a.Y, b.Y)
+				if xOverlap > 1e-9 && yOverlap > 1e-9 {
+					t.Fatalf("%v: %s and %s overlap", v, a.Name, b.Name)
+				}
+			}
+		}
+		// Total area must fill the bounding box (no gaps).
+		width, height := 0.0, 0.0
+		for _, b := range p.Blocks {
+			width = math.Max(width, b.X+b.W)
+			height = math.Max(height, b.Y+b.H)
+		}
+		if math.Abs(p.TotalArea()-width*height)/p.TotalArea() > 1e-6 {
+			t.Errorf("%v: gaps in floorplan: blocks %.4e vs box %.4e", v, p.TotalArea(), width*height)
+		}
+	}
+}
+
+func TestVariantShrinksItsResource(t *testing.T) {
+	iq := Build(config.PlanIQConstrained)
+	alu := Build(config.PlanALUConstrained)
+	rf := Build(config.PlanRFConstrained)
+
+	// The IQ-constrained plan must have the smallest IntQ halves.
+	if !(iq.Blocks[iq.Index(IntQ0)].Area() < alu.Blocks[alu.Index(IntQ0)].Area()) {
+		t.Error("IQ-constrained plan does not shrink IntQ0")
+	}
+	// The ALU-constrained plan must have the smallest IntExec units.
+	if !(alu.Blocks[alu.Index(IntExec(0))].Area() < iq.Blocks[iq.Index(IntExec(0))].Area()) {
+		t.Error("ALU-constrained plan does not shrink IntExec0")
+	}
+	// The RF-constrained plan must have the smallest IntReg copies.
+	if !(rf.Blocks[rf.Index(IntReg0)].Area() < iq.Blocks[iq.Index(IntReg0)].Area()) {
+		t.Error("RF-constrained plan does not shrink IntReg0")
+	}
+}
+
+func TestCriticalAdjacencies(t *testing.T) {
+	for _, v := range variants {
+		p := Build(v)
+		adjacent := func(a, b string) bool {
+			ia, ib := p.Index(a), p.Index(b)
+			for _, adj := range p.Adj {
+				if (adj.A == ia && adj.B == ib) || (adj.A == ib && adj.B == ia) {
+					return true
+				}
+			}
+			return false
+		}
+		// The two issue-queue halves must touch: lateral conduction
+		// between them is central to the activity-toggling result.
+		if !adjacent(IntQ0, IntQ1) {
+			t.Errorf("%v: IntQ halves not adjacent", v)
+		}
+		if !adjacent(FPQ0, FPQ1) {
+			t.Errorf("%v: FPQ halves not adjacent", v)
+		}
+		// Register-file copies likewise.
+		if !adjacent(IntReg0, IntReg1) {
+			t.Errorf("%v: IntReg copies not adjacent", v)
+		}
+		// Consecutive ALUs form a strip.
+		for i := 0; i < 5; i++ {
+			if !adjacent(IntExec(i), IntExec(i+1)) {
+				t.Errorf("%v: IntExec%d and IntExec%d not adjacent", v, i, i+1)
+			}
+		}
+		// Non-consecutive ALUs must NOT be adjacent (the point of the
+		// per-copy model is that heat travels block to block).
+		if adjacent(IntExec(0), IntExec(2)) {
+			t.Errorf("%v: IntExec0 adjacent to IntExec2", v)
+		}
+	}
+}
+
+func TestAdjacencySymmetricAndPositive(t *testing.T) {
+	for _, v := range variants {
+		p := Build(v)
+		for _, a := range p.Adj {
+			if a.A == a.B {
+				t.Fatalf("%v: self adjacency", v)
+			}
+			if a.Shared <= 0 || a.Dist <= 0 {
+				t.Fatalf("%v: degenerate adjacency %+v", v, a)
+			}
+		}
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	p := Build(config.PlanIQConstrained)
+	n := p.Neighbors(p.Index(IntQ0))
+	if len(n) < 2 {
+		t.Fatalf("IntQ0 has %d neighbours, want at least IntMap and IntQ1", len(n))
+	}
+}
+
+func TestExecAndFPAddBlockLists(t *testing.T) {
+	p := Build(config.PlanALUConstrained)
+	ex := p.IntExecBlocks(6)
+	if len(ex) != 6 {
+		t.Fatalf("IntExecBlocks: %d", len(ex))
+	}
+	for i, idx := range ex {
+		if p.Blocks[idx].Name != IntExec(i) {
+			t.Fatalf("exec block %d is %s", i, p.Blocks[idx].Name)
+		}
+	}
+	fa := p.FPAddBlocks(4)
+	if len(fa) != 4 || p.Blocks[fa[3]].Name != FPAdd(3) {
+		t.Fatal("FPAddBlocks wrong")
+	}
+}
+
+func TestASCIIRendersAllRows(t *testing.T) {
+	for _, v := range variants {
+		s := Build(v).ASCII(120)
+		for _, name := range []string{"Icache", "IntQ0", "IntExec0"} {
+			if !strings.Contains(s, name) {
+				t.Errorf("%v ASCII missing %s:\n%s", v, name, s)
+			}
+		}
+		if !strings.Contains(s, "floorplan") {
+			t.Errorf("ASCII missing header")
+		}
+	}
+	// Default width path.
+	if Build(config.PlanIQConstrained).ASCII(0) == "" {
+		t.Error("ASCII(0) empty")
+	}
+}
+
+func TestBlockAreaPositive(t *testing.T) {
+	for _, v := range variants {
+		for _, b := range Build(v).Blocks {
+			if b.Area() <= 0 {
+				t.Fatalf("%v: block %s has area %v", v, b.Name, b.Area())
+			}
+		}
+	}
+}

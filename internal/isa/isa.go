@@ -1,0 +1,213 @@
+// Package isa defines the synthetic instruction set executed by the
+// simulator. The paper's substrate executes Alpha binaries under
+// SimpleScalar; we substitute a compact trace-driven ISA whose instructions
+// carry real register and memory semantics. Real semantics matter for
+// validation: the out-of-order pipeline's architectural result is checked
+// against an in-order reference executor, which would be impossible with
+// opcode-less "bubbles".
+//
+// The ISA is deliberately Alpha-flavoured: 32 integer registers, 32
+// floating-point registers, loads/stores with base+displacement addressing,
+// and conditional branches whose outcome is pre-resolved by the trace
+// generator (trace-driven simulation, as in the paper's SimPoint runs).
+package isa
+
+import "fmt"
+
+// Op identifies an operation. The Class groupings (not individual opcodes)
+// determine which functional units may execute an instruction.
+type Op uint8
+
+// Operations. OpNop exists only as a zero value guard; generators never
+// emit it.
+const (
+	OpNop    Op = iota
+	OpAdd       // dest = src1 + src2
+	OpSub       // dest = src1 - src2
+	OpXor       // dest = src1 ^ src2
+	OpAnd       // dest = src1 & src2
+	OpShl       // dest = src1 << (src2 & 63)
+	OpMul       // dest = src1 * src2 (integer multiply)
+	OpLoad      // dest = mem[src1 + imm]
+	OpStore     // mem[src1 + imm] = src2
+	OpBr        // conditional branch; outcome carried in Inst.Taken
+	OpFAdd      // fdest = fsrc1 (+) fsrc2 (integer-lane FP surrogate)
+	OpFMul      // fdest = fsrc1 (*) fsrc2
+	OpLoadFP    // fdest = mem[src1 + imm] (FP load: int AGU, FP destination)
+	opCount
+)
+
+// Class partitions operations by the functional-unit type that executes
+// them. Integer ALUs in the modelled core execute arithmetic, loads/stores
+// (address generation), and branches, matching the paper's note that the 6
+// IntExec units include "arithmetic, load/store, and branch units".
+type Class uint8
+
+const (
+	ClassIntALU Class = iota // simple integer ops, address gen, branches
+	ClassIntMul              // integer multiply (still issues to an int ALU)
+	ClassMem                 // loads and stores
+	ClassBranch              // conditional branches
+	ClassFPAdd               // floating-point add pipeline
+	ClassFPMul               // floating-point multiply pipeline
+	classCount
+)
+
+// NumIntRegs and NumFPRegs size the architectural register files.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+)
+
+// NoReg marks an absent register operand.
+const NoReg = int8(-1)
+
+// Inst is one dynamic instruction in a trace. Fields are plain values so
+// slices of Inst are cache-friendly in the simulator's hot loop.
+type Inst struct {
+	Seq    uint64 // dynamic sequence number, 0-based
+	PC     uint64 // synthetic program counter (used by branch predictor)
+	Op     Op
+	Dest   int8   // destination register, NoReg if none
+	Src1   int8   // first source, NoReg if none
+	Src2   int8   // second source, NoReg if none
+	Imm    int64  // displacement for loads/stores
+	Addr   uint64 // pre-resolved effective address (memory ops only)
+	Taken  bool   // pre-resolved branch outcome (OpBr only)
+	Target uint64 // branch target PC (OpBr only)
+}
+
+// Class returns the functional class of the operation.
+func (op Op) Class() Class {
+	switch op {
+	case OpAdd, OpSub, OpXor, OpAnd, OpShl:
+		return ClassIntALU
+	case OpMul:
+		return ClassIntMul
+	case OpLoad, OpStore, OpLoadFP:
+		return ClassMem
+	case OpBr:
+		return ClassBranch
+	case OpFAdd:
+		return ClassFPAdd
+	case OpFMul:
+		return ClassFPMul
+	default:
+		return ClassIntALU
+	}
+}
+
+// IsFP reports whether the operation executes on the floating-point
+// pipelines and issues into the floating-point issue queue. FP loads are
+// NOT included: like the Alpha's ldt, they flow through the integer
+// load/store path and only their destination is floating-point.
+func (op Op) IsFP() bool {
+	return op == OpFAdd || op == OpFMul
+}
+
+// DestIsFP reports whether the operation writes the floating-point
+// register file.
+func (op Op) DestIsFP() bool {
+	return op == OpFAdd || op == OpFMul || op == OpLoadFP
+}
+
+// IsMem reports whether the operation accesses data memory.
+func (op Op) IsMem() bool { return op == OpLoad || op == OpStore || op == OpLoadFP }
+
+// IsBranch reports whether the operation is a control-flow instruction.
+func (op Op) IsBranch() bool { return op == OpBr }
+
+// HasDest reports whether the operation writes a destination register.
+func (op Op) HasDest() bool {
+	switch op {
+	case OpStore, OpBr, OpNop:
+		return false
+	}
+	return true
+}
+
+// String returns the mnemonic.
+func (op Op) String() string {
+	switch op {
+	case OpNop:
+		return "nop"
+	case OpAdd:
+		return "add"
+	case OpSub:
+		return "sub"
+	case OpXor:
+		return "xor"
+	case OpAnd:
+		return "and"
+	case OpShl:
+		return "shl"
+	case OpMul:
+		return "mul"
+	case OpLoad:
+		return "ld"
+	case OpStore:
+		return "st"
+	case OpBr:
+		return "br"
+	case OpFAdd:
+		return "fadd"
+	case OpFMul:
+		return "fmul"
+	case OpLoadFP:
+		return "ldf"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// String renders the instruction in a readable assembly-like form.
+func (in Inst) String() string {
+	switch {
+	case in.Op == OpLoad || in.Op == OpLoadFP:
+		return fmt.Sprintf("%06d %s r%d, %d(r%d)", in.Seq, in.Op, in.Dest, in.Imm, in.Src1)
+	case in.Op == OpStore:
+		return fmt.Sprintf("%06d %s r%d, %d(r%d)", in.Seq, in.Op, in.Src2, in.Imm, in.Src1)
+	case in.Op == OpBr:
+		return fmt.Sprintf("%06d %s r%d -> %#x (taken=%v)", in.Seq, in.Op, in.Src1, in.Target, in.Taken)
+	case in.Op.HasDest():
+		return fmt.Sprintf("%06d %s r%d, r%d, r%d", in.Seq, in.Op, in.Dest, in.Src1, in.Src2)
+	default:
+		return fmt.Sprintf("%06d %s", in.Seq, in.Op)
+	}
+}
+
+// ALUResult computes the value produced by a register-writing, non-memory
+// operation given its source operand values. It is shared by the
+// out-of-order core and the in-order reference executor so they cannot
+// disagree about semantics.
+func ALUResult(op Op, a, b uint64) uint64 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpXor:
+		return a ^ b
+	case OpAnd:
+		return a & b
+	case OpShl:
+		return a << (b & 63)
+	case OpMul:
+		return a * b
+	case OpFAdd:
+		// Integer-lane surrogate for FP add: addition plus a rotation so
+		// that FAdd and Add produce different dataflow.
+		s := a + b
+		return s<<1 | s>>63
+	case OpFMul:
+		return (a | 1) * (b | 1)
+	}
+	return 0
+}
+
+// EffAddr computes a base+displacement effective address. The simulator's
+// memory operations carry generator-resolved addresses (Inst.Addr), so
+// this helper exists for tools that synthesize addresses from register
+// values.
+func EffAddr(base uint64, imm int64) uint64 {
+	return base + uint64(imm)
+}

@@ -1,0 +1,516 @@
+// Package issueq implements the compacting issue queue, the subject of the
+// paper's first technique (§2.1). The queue is modelled at the same level
+// of detail as the paper's circuit description (Farrell & Fisher's
+// compaction logic): per-entry valid bits, invalid-count-driven compaction
+// of up to issue-width holes per cycle, per-entry clock gating, and the
+// Table 3 energy events for every data-wire drive, mux-select drive,
+// counter stage, tag broadcast, payload-RAM access and select access.
+//
+// The queue is a circular structure over fixed physical entries. A
+// configuration ("mode") places the head either at the physical bottom
+// (conventional) or at the middle of the queue with wrap-around compaction
+// (the paper's activity-toggled configuration, Figure 3). Logical position
+// L maps to physical position (origin+L) mod N; compaction always moves
+// instructions toward lower logical positions. In the mid-queue mode a
+// move that wraps from physical 0 to physical N-1 drives its contents
+// across the length of the queue and is charged the Table 3 "Long
+// Compaction" energy — the power-density disadvantage the paper
+// deliberately retains.
+//
+// Energy is accumulated per physical *half*, because the two halves are
+// separate floorplan blocks (IntQ0/IntQ1) and their differential heating
+// is the effect activity toggling exploits.
+package issueq
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+)
+
+// EntryState is the lifecycle of one queue entry.
+type EntryState uint8
+
+// Entry states.
+const (
+	Empty    EntryState = iota // no instruction (a hole, compactable)
+	Waiting                    // occupied, operands not all ready
+	Ready                      // occupied, requesting issue
+	Draining                   // issued, held for possible replay; not yet a hole
+)
+
+type entry struct {
+	id    int32
+	state EntryState
+	drain int8
+}
+
+// Queue is one compacting issue queue (the machine has two: integer and
+// floating-point).
+type Queue struct {
+	n           int // entries
+	half        int // n/2
+	width       int // max holes compacted per cycle (= issue width)
+	drainCycles int8
+
+	origin int // physical position of logical slot 0 (0 or n/2)
+	tail   int // logical slots in use (occupied + trapped holes)
+
+	// nonCompacting switches the queue to the related-work alternative
+	// the paper cites (Buyuktosunoglu et al.): entries stay where they
+	// were dispatched, freed slots are reused directly, and no compaction
+	// wires ever switch. Priority falls back to physical position. Used
+	// as an ablation of the paper's premise that compaction is both the
+	// dominant energy consumer and the source of the utilization
+	// asymmetry.
+	nonCompacting bool
+
+	slots    []entry // indexed by PHYSICAL position
+	idToPhys []int32 // id -> physical position, -1 if absent
+
+	// halfEnergy accumulates joules per physical half since the last
+	// DrainEnergy call; halfEnergyTotal accumulates for the queue's
+	// lifetime (the thermal manager uses deltas to find the half that is
+	// currently being heated).
+	halfEnergy      [2]float64
+	halfEnergyTotal [2]float64
+
+	// Statistics.
+	Dispatches   uint64
+	Issues       uint64
+	Compactions  uint64 // cycles in which at least one hole was squeezed
+	Moves        uint64 // total entry movements
+	WrapMoves    uint64 // movements charged as long compaction
+	Toggles      uint64
+	HalfMoves    [2]uint64 // entry movements charged to each half
+	HalfOccupied [2]uint64 // occupied-entry-cycles per half (utilization)
+}
+
+// New builds a queue with n entries (even), compaction width w per cycle,
+// and the given post-issue drain residency in cycles. idSpace bounds the
+// instruction IDs that will be dispatched (IDs are reorder-buffer slots,
+// so this is the active-list size).
+func New(n, w, drainCycles, idSpace int) *Queue {
+	if n <= 0 || n%2 != 0 {
+		panic(fmt.Sprintf("issueq: %d entries (must be positive and even)", n))
+	}
+	if w <= 0 || drainCycles < 0 || idSpace <= 0 {
+		panic("issueq: bad width/drain/idSpace")
+	}
+	q := &Queue{
+		n:           n,
+		half:        n / 2,
+		width:       w,
+		drainCycles: int8(drainCycles),
+		slots:       make([]entry, n),
+		idToPhys:    make([]int32, idSpace),
+	}
+	for i := range q.idToPhys {
+		q.idToPhys[i] = -1
+	}
+	return q
+}
+
+// Size returns the number of entries.
+func (q *Queue) Size() int { return q.n }
+
+// SetNonCompacting switches the queue to the non-compacting organization
+// (see the field comment). Only valid on an empty queue; toggling is
+// meaningless in this mode and must not be used.
+func (q *Queue) SetNonCompacting(on bool) {
+	if q.Occupancy() != 0 {
+		panic("issueq: SetNonCompacting on a non-empty queue")
+	}
+	q.nonCompacting = on
+}
+
+// NonCompacting reports whether the queue uses the non-compacting
+// organization.
+func (q *Queue) NonCompacting() bool { return q.nonCompacting }
+
+// Mode returns 0 for the conventional head-at-bottom configuration and 1
+// for the mid-queue-head configuration.
+func (q *Queue) Mode() int {
+	if q.origin == 0 {
+		return 0
+	}
+	return 1
+}
+
+// physOf maps a logical position to its physical entry index.
+func (q *Queue) physOf(logical int) int {
+	p := q.origin + logical
+	if p >= q.n {
+		p -= q.n
+	}
+	return p
+}
+
+// halfOf returns the physical half (0 = bottom, 1 = top) of a physical
+// position.
+func (q *Queue) halfOf(phys int) int {
+	if phys < q.half {
+		return 0
+	}
+	return 1
+}
+
+// Full reports whether dispatch would fail. The compacting queue can be
+// "full" while holding holes that have not yet compacted below the tail —
+// exactly the transient the real hardware exhibits; the non-compacting
+// queue is full only when every slot is occupied.
+func (q *Queue) Full() bool {
+	if q.nonCompacting {
+		return q.freeSlot() < 0
+	}
+	return q.tail >= q.n
+}
+
+// freeSlot returns the lowest free physical slot, or -1.
+func (q *Queue) freeSlot() int {
+	for i := range q.slots {
+		if q.slots[i].state == Empty {
+			return i
+		}
+	}
+	return -1
+}
+
+// Occupancy returns the number of occupied (Waiting/Ready/Draining)
+// entries.
+func (q *Queue) Occupancy() int {
+	c := 0
+	for i := range q.slots {
+		if q.slots[i].state != Empty {
+			c++
+		}
+	}
+	return c
+}
+
+// Dispatch inserts instruction id at the tail. It returns false if the
+// queue is full. The payload RAM write is charged, split across the halves
+// (the payload RAM is physically distributed over both).
+func (q *Queue) Dispatch(id int32) bool {
+	if id < 0 || int(id) >= len(q.idToPhys) {
+		panic(fmt.Sprintf("issueq: dispatch id %d out of range", id))
+	}
+	if q.idToPhys[id] != -1 {
+		panic(fmt.Sprintf("issueq: id %d already in queue", id))
+	}
+	var p int
+	if q.nonCompacting {
+		p = q.freeSlot()
+		if p < 0 {
+			return false
+		}
+	} else {
+		if q.tail >= q.n {
+			return false
+		}
+		p = q.physOf(q.tail)
+		q.tail++
+	}
+	q.slots[p] = entry{id: id, state: Waiting}
+	q.idToPhys[id] = int32(p)
+	q.Dispatches++
+	// The payload RAM is physically distributed over both halves. The
+	// dispatch bus drives the instruction's fields across the queue to
+	// the tail entry (the paper's §2.1.1 notes dispatch must reach the
+	// middle of the queue in the toggled mode): charge half the drive to
+	// the written entry's half and the rest to the wire run.
+	q.chargeBoth(power.PayloadRAMAccess)
+	q.charge(q.halfOf(p), power.LongCompaction/2)
+	q.chargeBoth(power.LongCompaction / 2)
+	return true
+}
+
+// Contains reports whether instruction id currently occupies an entry.
+func (q *Queue) Contains(id int32) bool { return q.idToPhys[id] != -1 }
+
+// MarkReady transitions instruction id to the Ready state (all operands
+// available). It is idempotent; marking a draining entry is an error.
+func (q *Queue) MarkReady(id int32) {
+	p := q.idToPhys[id]
+	if p < 0 {
+		panic(fmt.Sprintf("issueq: MarkReady(%d) not in queue", id))
+	}
+	e := &q.slots[p]
+	if e.state == Draining {
+		panic(fmt.Sprintf("issueq: MarkReady(%d) after issue", id))
+	}
+	e.state = Ready
+}
+
+// Issue transitions instruction id from Ready to Draining and charges the
+// select and payload-RAM-read energies. The entry remains occupied for the
+// drain residency (covering load-miss replay windows) before becoming a
+// compactable hole.
+func (q *Queue) Issue(id int32) {
+	p := q.idToPhys[id]
+	if p < 0 {
+		panic(fmt.Sprintf("issueq: Issue(%d) not in queue", id))
+	}
+	e := &q.slots[p]
+	if e.state != Ready {
+		panic(fmt.Sprintf("issueq: Issue(%d) in state %d", id, e.state))
+	}
+	e.state = Draining
+	e.drain = q.drainCycles
+	q.Issues++
+	q.chargeBoth(power.SelectAccess + power.PayloadRAMAccess)
+}
+
+// Remove deletes instruction id from the queue immediately (pipeline
+// flush). No compaction energy is charged; flushed entries simply become
+// holes.
+func (q *Queue) Remove(id int32) {
+	p := q.idToPhys[id]
+	if p < 0 {
+		return
+	}
+	q.slots[p] = entry{}
+	q.idToPhys[id] = -1
+	// Reclaim tail slots freed at the top so dispatch can proceed
+	// immediately after a flush (real hardware resets the tail pointer).
+	for q.tail > 0 && q.slots[q.physOf(q.tail-1)].state == Empty {
+		q.tail--
+	}
+}
+
+// Broadcast charges the tag broadcast/match energy for count destination
+// tags driven across the queue this cycle. The broadcast wires span both
+// halves (half the energy, split evenly); the CAM match energy toggles in
+// the occupied entries, so it follows the occupancy of each half.
+func (q *Queue) Broadcast(count int) {
+	if count <= 0 {
+		return
+	}
+	e := float64(count) * power.TagBroadcastMatch
+	q.chargeBoth(e / 2)
+	occ0, occ1 := 0, 0
+	for i := range q.slots {
+		if q.slots[i].state != Empty {
+			if q.halfOf(i) == 0 {
+				occ0++
+			} else {
+				occ1++
+			}
+		}
+	}
+	if tot := occ0 + occ1; tot > 0 {
+		q.charge(0, e/2*float64(occ0)/float64(tot))
+		q.charge(1, e/2*float64(occ1)/float64(tot))
+	} else {
+		q.chargeBoth(e / 2)
+	}
+}
+
+// Requests fills req (length n, indexed by PHYSICAL position) with the
+// instruction IDs of Ready entries, -1 elsewhere, for the select trees.
+func (q *Queue) Requests(req []int32) {
+	if len(req) != q.n {
+		panic("issueq: Requests slice length mismatch")
+	}
+	for i := range req {
+		if q.slots[i].state == Ready {
+			req[i] = q.slots[i].id
+		} else {
+			req[i] = -1
+		}
+	}
+}
+
+// Tick advances one cycle: decrements drain counters (turning expired
+// Draining entries into holes), performs one compaction pass squeezing up
+// to the compaction width of holes, charges all Table 3 energies, and
+// accumulates per-half utilization statistics.
+func (q *Queue) Tick() {
+	// Clock-gating control logic runs every cycle for the whole queue.
+	q.chargeBoth(power.ClockGatingLogic)
+
+	// Drain countdown.
+	for i := range q.slots {
+		e := &q.slots[i]
+		if e.state == Draining {
+			if e.drain > 0 {
+				e.drain--
+			}
+			if e.drain == 0 {
+				q.idToPhys[e.id] = -1
+				*e = entry{}
+			}
+		}
+		if e.state != Empty {
+			q.HalfOccupied[q.halfOf(i)]++
+		}
+	}
+
+	if !q.nonCompacting {
+		q.compact()
+	}
+}
+
+// compact performs the per-cycle compaction pass. Holes below the tail are
+// squeezed out, lowest-logical first, up to the compaction width. Entries
+// above a squeezed hole move down by the number of squeezed holes below
+// them; each move drives the entry-to-entry data wires (charged to the
+// half of the SOURCE entry) and the cross-queue mux-select wires (charged
+// to the half of the DESTINATION entry). Valid entries above the lowest
+// hole additionally clock their invalid-count stages. A move whose
+// physical trajectory wraps across the end of the queue is charged the
+// long-compaction energy instead of the entry-to-entry energy.
+func (q *Queue) compact() {
+	removed := 0
+	for readL := 0; readL < q.tail; readL++ {
+		p := q.physOf(readL)
+		e := q.slots[p]
+		if e.state == Empty {
+			if removed < q.width {
+				// This hole is squeezed out this cycle.
+				removed++
+			}
+			// Holes beyond the compaction width shift down implicitly
+			// (their slots are Empty on both ends) and drive no wires.
+			continue
+		}
+		if removed > 0 {
+			// Entries above the lowest squeezed hole are not clock-gated:
+			// their invalid-count stages toggle this cycle.
+			q.charge(q.halfOf(p), power.CounterStage1+power.CounterStage2)
+		}
+		dstL := readL - removed
+		if dstL != readL {
+			dstP := q.physOf(dstL)
+			// Move the entry.
+			q.slots[dstP] = e
+			q.slots[p] = entry{}
+			q.idToPhys[e.id] = int32(dstP)
+			q.Moves++
+			srcHalf := q.halfOf(p)
+			q.HalfMoves[srcHalf]++
+			if dstP > p {
+				// Physically upward move while logically downward: the
+				// wrap-around long compaction of the toggled mode.
+				q.WrapMoves++
+				q.charge(srcHalf, power.LongCompaction)
+			} else {
+				q.charge(srcHalf, power.CompactEntryToEntry)
+			}
+			q.charge(q.halfOf(dstP), power.CompactMuxSelect)
+		}
+	}
+	if removed > 0 {
+		q.Compactions++
+		q.tail -= removed
+	}
+}
+
+// Toggle flips the head/tail configuration between the conventional and
+// mid-queue modes. Entries stay in their physical positions; their logical
+// priorities are relabelled by the new origin, transiently inverting age
+// order exactly as the paper describes (§2.1.1). The tail is recomputed as
+// one past the highest occupied logical slot.
+func (q *Queue) Toggle() {
+	if q.nonCompacting {
+		panic("issueq: Toggle on a non-compacting queue")
+	}
+	if q.origin == 0 {
+		q.origin = q.half
+	} else {
+		q.origin = 0
+	}
+	q.Toggles++
+	q.tail = 0
+	for l := q.n - 1; l >= 0; l-- {
+		if q.slots[q.physOf(l)].state != Empty {
+			q.tail = l + 1
+			break
+		}
+	}
+}
+
+// DrainEnergy returns and clears the energy (joules) accumulated by
+// physical half h since the last call.
+func (q *Queue) DrainEnergy(h int) float64 {
+	e := q.halfEnergy[h]
+	q.halfEnergy[h] = 0
+	return e
+}
+
+func (q *Queue) charge(half int, j float64) {
+	q.halfEnergy[half] += j
+	q.halfEnergyTotal[half] += j
+}
+
+func (q *Queue) chargeBoth(j float64) {
+	q.charge(0, j/2)
+	q.charge(1, j/2)
+}
+
+// EnergyTotals returns the lifetime energy of each physical half in
+// joules. Unlike DrainEnergy it does not reset; the thermal manager
+// differences successive readings to find the actively heated half.
+func (q *Queue) EnergyTotals() (half0, half1 float64) {
+	return q.halfEnergyTotal[0], q.halfEnergyTotal[1]
+}
+
+// Waiting appends the IDs of entries still waiting for operands to dst and
+// returns it; the pipeline's wakeup scan iterates these instead of the
+// whole active list.
+func (q *Queue) Waiting(dst []int32) []int32 {
+	for i := range q.slots {
+		if q.slots[i].state == Waiting {
+			dst = append(dst, q.slots[i].id)
+		}
+	}
+	return dst
+}
+
+// StateOf returns the state of instruction id, or Empty if absent (for
+// tests and debug dumps).
+func (q *Queue) StateOf(id int32) EntryState {
+	p := q.idToPhys[id]
+	if p < 0 {
+		return Empty
+	}
+	return q.slots[p].state
+}
+
+// LogicalOrder appends the IDs of occupied entries in logical (priority)
+// order to dst and returns it; used by tests to verify compaction
+// preserves order.
+func (q *Queue) LogicalOrder(dst []int32) []int32 {
+	for l := 0; l < q.n; l++ {
+		if e := q.slots[q.physOf(l)]; e.state != Empty {
+			dst = append(dst, e.id)
+		}
+	}
+	return dst
+}
+
+// PhysicalHalfOf returns which physical half instruction id resides in
+// (0 or 1), or -1 if absent.
+func (q *Queue) PhysicalHalfOf(id int32) int {
+	p := q.idToPhys[id]
+	if p < 0 {
+		return -1
+	}
+	return q.halfOf(int(p))
+}
+
+// Reset empties the queue, returning to mode 0, and clears statistics.
+func (q *Queue) Reset() {
+	for i := range q.slots {
+		q.slots[i] = entry{}
+	}
+	for i := range q.idToPhys {
+		q.idToPhys[i] = -1
+	}
+	q.origin, q.tail = 0, 0
+	q.halfEnergy = [2]float64{}
+	q.halfEnergyTotal = [2]float64{}
+	q.Dispatches, q.Issues, q.Compactions, q.Moves, q.WrapMoves, q.Toggles = 0, 0, 0, 0, 0, 0
+	q.HalfMoves = [2]uint64{}
+	q.HalfOccupied = [2]uint64{}
+}

@@ -1,0 +1,856 @@
+// Package pipeline implements the out-of-order core: a 6-wide machine with
+// a 128-entry active list, 64-entry load/store queue, two 32-entry
+// compacting issue queues (integer and floating-point), hierarchical
+// select trees serialized per functional unit, six integer execution units
+// (arithmetic, address-generation and branch capable), four FP adders, an
+// FP multiplier, and two integer register-file copies (Table 2).
+//
+// The model is execution-driven over the synthetic trace: instructions
+// carry real register semantics, values flow through renamed physical
+// registers, loads forward from older in-flight stores, and the
+// architectural result is checkable against an in-order reference
+// executor. Control flow is trace-driven: no wrong-path instructions are
+// fetched; a mispredicted branch stalls fetch until it resolves plus the
+// redirect penalty, the standard trace-driven approximation.
+//
+// Every structural event deposits energy: the issue queues and register
+// file accumulate internally (per half / per copy — the granularity the
+// paper's techniques act on) and are drained into the power meter each
+// sensor interval; everything else deposits directly to floorplan blocks.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/floorplan"
+	"repro/internal/isa"
+	"repro/internal/issueq"
+	"repro/internal/power"
+	"repro/internal/regfile"
+	"repro/internal/seltree"
+	"repro/internal/trace"
+)
+
+type slotState uint8
+
+const (
+	slotFree slotState = iota
+	slotInQueue
+	slotIssued
+	slotDone
+)
+
+type robEntry struct {
+	inst      isa.Inst
+	state     slotState
+	fp        bool
+	destPhys  int16
+	prevPhys  int16
+	src1Phys  int16
+	src2Phys  int16
+	lsqIdx    int32
+	unit      int8
+	mispredct bool
+	value     uint64
+}
+
+// storeRef is a snapshot of an unresolved store for disambiguation.
+type storeRef struct {
+	seq  uint64
+	addr uint64
+}
+
+type lsqEntry struct {
+	rob      int32
+	seq      uint64
+	isStore  bool
+	addr     uint64
+	data     uint64
+	resolved bool // store has executed (address and data known)
+}
+
+// completionRing sizes the completion scheduler; it must exceed the
+// longest possible operation latency (memory + port queueing).
+const completionRing = 2048
+
+// Pipeline is the simulated core. Construct with New; drive with Cycle.
+type Pipeline struct {
+	cfg   *config.Config
+	gen   *trace.Generator
+	meter *power.Meter
+	mem   *cache.Hierarchy
+	bp    *bpred.Predictor
+
+	intQ, fpQ                     *issueq.Queue
+	intPool, fpAddPool, fpMulPool *seltree.Pool
+	rf                            *regfile.File
+
+	// Rename state.
+	ratInt, ratFP   [isa.NumIntRegs]int16
+	physInt, physFP []uint64
+	readyInt        []bool
+	readyFP         []bool
+	freeInt, freeFP []int16
+
+	// Active list (ring).
+	rob                window
+	committedMem       *isa.State
+	cycle              int64
+	fetchResume        int64
+	mispredictInFlight bool
+
+	// Completion buckets indexed by cycle % completionRing.
+	completions [completionRing][]int32
+
+	// L1D port scheduling.
+	portFree []int64
+
+	// Fetch state.
+	nextInst   isa.Inst
+	hasNext    bool
+	curLine    uint64
+	maxFetched uint64 // fetch budget; 0 = unlimited
+	fetchOff   bool
+
+	// Cached floorplan block indices.
+	bIcache, bDcache, bBpred, bITB, bDTB, bLdStQ int
+	bIntMap, bFPMap                              int
+	bIntQ0, bIntQ1, bFPQ0, bFPQ1                 int
+	bFPReg, bFPMulBlk                            int
+	bIntExec                                     []int
+	bFPAdd                                       []int
+	bIntReg                                      []int
+
+	// Scratch buffers reused across cycles.
+	waitBuf    []int32
+	reqInt     []int32
+	reqFPAdd   []int32
+	reqFPMul   []int32
+	grantBuf   []seltree.Grant
+	unresolved []storeRef
+
+	// Statistics.
+	Fetched     uint64
+	Committed   uint64
+	Issued      uint64
+	Loads       uint64
+	Stores      uint64
+	Branches    uint64
+	Mispredicts uint64
+	StallROB    uint64 // dispatch stalls: active list full
+	StallLSQ    uint64
+	StallIQ     uint64 // dispatch stalls: issue queue full
+}
+
+// window is the in-flight instruction store: the active-list ring and the
+// program-ordered load/store queue ring.
+type window struct {
+	entries []robEntry
+	head    int
+	tail    int
+	count   int
+
+	lsq      []lsqEntry
+	lsqHead  int
+	lsqTail  int
+	lsqCount int
+}
+
+// New wires up a pipeline for the given configuration, floorplan, power
+// meter and instruction source.
+func New(cfg *config.Config, plan *floorplan.Plan, meter *power.Meter, gen *trace.Generator) *Pipeline {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	p := &Pipeline{
+		cfg:   cfg,
+		gen:   gen,
+		meter: meter,
+		mem: cache.NewHierarchy(cfg.L1SizeKB, cfg.L1Assoc, cfg.L1LineB, cfg.L1Latency,
+			cfg.L2SizeKB, cfg.L2Assoc, cfg.L2Latency, cfg.MemLatency),
+		bp:        bpred.Default(),
+		intQ:      issueq.New(cfg.IQEntries, cfg.IssueWidth, cfg.IssueDrainCycles, cfg.ActiveList),
+		fpQ:       issueq.New(cfg.IQEntries, cfg.IssueWidth, cfg.IssueDrainCycles, cfg.ActiveList),
+		intPool:   seltree.NewPool(cfg.IQEntries, cfg.IntALUs),
+		fpAddPool: seltree.NewPool(cfg.IQEntries, cfg.FPAdders),
+		fpMulPool: seltree.NewPool(cfg.IQEntries, cfg.FPMuls),
+		rf: regfile.New(cfg.IntRFCopies, cfg.IntALUs, cfg.Techniques.RFMap,
+			cfg.Techniques.RFWrites, cfg.PhysIntRegs),
+		physInt:      make([]uint64, cfg.PhysIntRegs),
+		physFP:       make([]uint64, cfg.PhysFPRegs),
+		readyInt:     make([]bool, cfg.PhysIntRegs),
+		readyFP:      make([]bool, cfg.PhysFPRegs),
+		committedMem: isa.NewState(),
+		portFree:     make([]int64, cfg.L1Ports),
+		reqInt:       make([]int32, cfg.IQEntries),
+		reqFPAdd:     make([]int32, cfg.IQEntries),
+		reqFPMul:     make([]int32, cfg.IQEntries),
+	}
+	p.rob.entries = make([]robEntry, cfg.ActiveList)
+	p.rob.lsq = make([]lsqEntry, cfg.LSQEntries)
+
+	// Initial rename map: arch register i lives in physical register i,
+	// seeded with the reference model's initial values.
+	init := isa.NewState()
+	for i := 0; i < isa.NumIntRegs; i++ {
+		p.ratInt[i] = int16(i)
+		p.physInt[i] = init.IntReg[i]
+		p.readyInt[i] = true
+		p.ratFP[i] = int16(i)
+		p.physFP[i] = init.FPReg[i]
+		p.readyFP[i] = true
+	}
+	for r := cfg.PhysIntRegs - 1; r >= isa.NumIntRegs; r-- {
+		p.freeInt = append(p.freeInt, int16(r))
+	}
+	for r := cfg.PhysFPRegs - 1; r >= isa.NumFPRegs; r-- {
+		p.freeFP = append(p.freeFP, int16(r))
+	}
+
+	// Cache block indices.
+	p.bIcache = plan.Index(floorplan.ICache)
+	p.bDcache = plan.Index(floorplan.DCache)
+	p.bBpred = plan.Index(floorplan.BPred)
+	p.bITB = plan.Index(floorplan.ITB)
+	p.bDTB = plan.Index(floorplan.DTB)
+	p.bLdStQ = plan.Index(floorplan.LdStQ)
+	p.bIntMap = plan.Index(floorplan.IntMap)
+	p.bFPMap = plan.Index(floorplan.FPMap)
+	p.bIntQ0 = plan.Index(floorplan.IntQ0)
+	p.bIntQ1 = plan.Index(floorplan.IntQ1)
+	p.bFPQ0 = plan.Index(floorplan.FPQ0)
+	p.bFPQ1 = plan.Index(floorplan.FPQ1)
+	p.bFPReg = plan.Index(floorplan.FPReg)
+	p.bFPMulBlk = plan.Index(floorplan.FPMul)
+	p.bIntExec = plan.IntExecBlocks(cfg.IntALUs)
+	p.bFPAdd = plan.FPAddBlocks(cfg.FPAdders)
+	p.bIntReg = make([]int, cfg.IntRFCopies)
+	for c := 0; c < cfg.IntRFCopies; c++ {
+		p.bIntReg[c] = plan.Index(fmt.Sprintf("IntReg%d", c))
+	}
+
+	if cfg.Techniques.ALU == config.ALURoundRobin {
+		p.intPool.SetRoundRobin(true)
+		p.fpAddPool.SetRoundRobin(true)
+		p.fpMulPool.SetRoundRobin(true)
+	}
+	if cfg.Techniques.IQ == config.IQNonCompacting {
+		p.intQ.SetNonCompacting(true)
+		p.fpQ.SetNonCompacting(true)
+	}
+	p.curLine = ^uint64(0)
+	return p
+}
+
+// Accessors for the thermal manager and experiments.
+
+// IntQueue returns the integer issue queue.
+func (p *Pipeline) IntQueue() *issueq.Queue { return p.intQ }
+
+// FPQueue returns the floating-point issue queue.
+func (p *Pipeline) FPQueue() *issueq.Queue { return p.fpQ }
+
+// IntPool returns the integer-ALU select-tree pool.
+func (p *Pipeline) IntPool() *seltree.Pool { return p.intPool }
+
+// FPAddPool returns the FP-adder select-tree pool.
+func (p *Pipeline) FPAddPool() *seltree.Pool { return p.fpAddPool }
+
+// FPMulPool returns the FP-multiplier select-tree pool.
+func (p *Pipeline) FPMulPool() *seltree.Pool { return p.fpMulPool }
+
+// RegFile returns the integer register-file copies.
+func (p *Pipeline) RegFile() *regfile.File { return p.rf }
+
+// Mem returns the cache hierarchy.
+func (p *Pipeline) Mem() *cache.Hierarchy { return p.mem }
+
+// Bpred returns the branch predictor.
+func (p *Pipeline) Bpred() *bpred.Predictor { return p.bp }
+
+// Cycles returns the number of active (non-stalled) cycles executed.
+func (p *Pipeline) Cycles() int64 { return p.cycle }
+
+// InFlight returns the number of instructions in the active list.
+func (p *Pipeline) InFlight() int { return p.rob.count }
+
+// SetFetchLimit caps the number of instructions fetched (0 = unlimited);
+// used to run an exact instruction count and then drain.
+func (p *Pipeline) SetFetchLimit(n uint64) { p.maxFetched = n }
+
+// SetFetchEnabled pauses or resumes fetch (drain support).
+func (p *Pipeline) SetFetchEnabled(on bool) { p.fetchOff = !on }
+
+// Warmup primes the caches and branch predictor with the first n
+// instructions of the profile's stream, architecturally only (no cycles,
+// no energy), mirroring the paper's L2 warmup during SimPoint
+// fast-forward. It uses a fresh generator so the measured run still begins
+// at instruction zero.
+func (p *Pipeline) Warmup(n int) {
+	g := trace.NewGenerator(p.gen.Profile())
+	line := ^uint64(0)
+	for i := 0; i < n; i++ {
+		in := g.Next()
+		if l := in.PC / uint64(p.cfg.L1LineB); l != line {
+			line = l
+			p.mem.Inst(in.PC)
+		}
+		switch {
+		case in.Op.IsMem():
+			// Streaming (cold) addresses are compulsory misses by
+			// construction; warming them would replay the measured run's
+			// stream as hits.
+			if in.Addr < trace.ColdBase {
+				p.mem.WarmData(in.Addr)
+			}
+		case in.Op.IsBranch():
+			p.bp.Predict(in.PC)
+			p.bp.Update(in.PC, in.Taken, in.Target)
+		}
+	}
+	// Warmup statistics would pollute measurement; clear them.
+	p.mem.L1I.Accesses, p.mem.L1I.Misses = 0, 0
+	p.mem.L1D.Accesses, p.mem.L1D.Misses = 0, 0
+	p.mem.L2.Accesses, p.mem.L2.Misses = 0, 0
+	p.bp.Lookups, p.bp.Mispredict = 0, 0
+}
+
+// Cycle advances the core by one active cycle.
+func (p *Pipeline) Cycle() {
+	// Select-tree root mode tracks the issue-queue configuration.
+	p.intPool.SetPreferTop(p.intQ.Mode() == 1)
+	p.fpAddPool.SetPreferTop(p.fpQ.Mode() == 1)
+	p.fpMulPool.SetPreferTop(p.fpQ.Mode() == 1)
+
+	p.completeStage()
+	p.commitStage()
+	p.wakeupStage()
+	p.issueStage()
+	p.frontendStage()
+
+	p.intQ.Tick()
+	p.fpQ.Tick()
+	if p.cfg.Techniques.ALU == config.ALURoundRobin {
+		p.intPool.Rotate()
+		p.fpAddPool.Rotate()
+		p.fpMulPool.Rotate()
+	}
+	p.cycle++
+}
+
+// completeStage retires this cycle's finishing executions: results become
+// visible, dependants wake, stores resolve, mispredicted branches release
+// fetch.
+func (p *Pipeline) completeStage() {
+	bucket := &p.completions[p.cycle%completionRing]
+	if len(*bucket) == 0 {
+		return
+	}
+	intTags, fpTags := 0, 0
+	for _, id := range *bucket {
+		e := &p.rob.entries[id]
+		e.state = slotDone
+		if e.inst.Op.HasDest() {
+			if e.inst.Op.DestIsFP() {
+				p.physFP[e.destPhys] = e.value
+				p.readyFP[e.destPhys] = true
+				fpTags++
+				p.meter.Deposit(p.bFPReg, power.RFWrite)
+			} else {
+				p.physInt[e.destPhys] = e.value
+				p.readyInt[e.destPhys] = true
+				intTags++
+				p.rf.ChargeWrite()
+			}
+		}
+		if e.lsqIdx >= 0 && e.inst.Op == isa.OpStore {
+			p.rob.lsq[e.lsqIdx].resolved = true
+			p.rob.lsq[e.lsqIdx].data = e.value
+			p.removeUnresolved(e.inst.Seq)
+		}
+		if e.mispredct {
+			p.fetchResume = p.cycle + int64(p.cfg.BranchPenalty)
+			p.mispredictInFlight = false
+		}
+	}
+	p.intQ.Broadcast(intTags)
+	p.fpQ.Broadcast(fpTags)
+	*bucket = (*bucket)[:0]
+}
+
+// commitStage retires completed instructions in program order.
+func (p *Pipeline) commitStage() {
+	for n := 0; n < p.cfg.CommitWidth && p.rob.count > 0; n++ {
+		e := &p.rob.entries[p.rob.head]
+		if e.state != slotDone {
+			return
+		}
+		if e.inst.Op == isa.OpStore {
+			le := &p.rob.lsq[e.lsqIdx]
+			p.committedMem.WriteMem(le.addr, le.data)
+			p.meter.Deposit(p.bDcache, power.DCacheAccess)
+		}
+		if e.lsqIdx >= 0 {
+			p.rob.lsqHead = (p.rob.lsqHead + 1) % len(p.rob.lsq)
+			p.rob.lsqCount--
+		}
+		if e.inst.Op.HasDest() && e.prevPhys >= 0 {
+			if e.inst.Op.DestIsFP() {
+				p.freeFP = append(p.freeFP, e.prevPhys)
+			} else {
+				p.freeInt = append(p.freeInt, e.prevPhys)
+			}
+		}
+		// The active-list slot is about to be recycled: if the issued
+		// entry is still in its queue's post-issue drain window, clear it
+		// now so the slot ID can be re-dispatched.
+		if e.fp {
+			p.fpQ.Remove(int32(p.rob.head))
+		} else {
+			p.intQ.Remove(int32(p.rob.head))
+		}
+		e.state = slotFree
+		p.rob.head = (p.rob.head + 1) % len(p.rob.entries)
+		p.rob.count--
+		p.Committed++
+	}
+}
+
+// wakeupStage marks queue entries whose operands (and memory ordering
+// constraints) are satisfied as ready to request selection.
+func (p *Pipeline) wakeupStage() {
+	p.waitBuf = p.waitBuf[:0]
+	p.waitBuf = p.intQ.Waiting(p.waitBuf)
+	nInt := len(p.waitBuf)
+	p.waitBuf = p.fpQ.Waiting(p.waitBuf)
+	for i, id := range p.waitBuf {
+		e := &p.rob.entries[id]
+		if !p.srcReady(e) {
+			continue
+		}
+		if (e.inst.Op == isa.OpLoad || e.inst.Op == isa.OpLoadFP) && p.loadBlocked(e) {
+			continue
+		}
+		if i < nInt {
+			p.intQ.MarkReady(id)
+		} else {
+			p.fpQ.MarkReady(id)
+		}
+	}
+}
+
+// loadBlocked reports whether an older unresolved same-address store
+// prevents this load from issuing. The unresolved set is maintained
+// incrementally: stores enter it at dispatch (their addresses are
+// trace-resolved, so disambiguation is address-precise — the
+// perfect-disambiguation assumption common to SimpleScalar-era studies)
+// and leave when their data resolves.
+func (p *Pipeline) loadBlocked(e *robEntry) bool {
+	for _, s := range p.unresolved {
+		if s.seq < e.inst.Seq && s.addr == e.inst.Addr {
+			return true
+		}
+	}
+	return false
+}
+
+// removeUnresolved drops the store with the given sequence number from the
+// unresolved set (swap delete; the set is small).
+func (p *Pipeline) removeUnresolved(seq uint64) {
+	for i := range p.unresolved {
+		if p.unresolved[i].seq == seq {
+			last := len(p.unresolved) - 1
+			p.unresolved[i] = p.unresolved[last]
+			p.unresolved = p.unresolved[:last]
+			return
+		}
+	}
+}
+
+func (p *Pipeline) srcReady(e *robEntry) bool {
+	if e.fp {
+		return (e.src1Phys < 0 || p.readyFP[e.src1Phys]) &&
+			(e.src2Phys < 0 || p.readyFP[e.src2Phys])
+	}
+	return (e.src1Phys < 0 || p.readyInt[e.src1Phys]) &&
+		(e.src2Phys < 0 || p.readyInt[e.src2Phys])
+}
+
+// issueStage runs the select trees and launches granted instructions into
+// execution.
+func (p *Pipeline) issueStage() {
+	p.intQ.Requests(p.reqInt)
+	p.fpQ.Requests(p.reqFPAdd)
+	// Split the FP queue's requests by target unit class.
+	for i, id := range p.reqFPAdd {
+		p.reqFPMul[i] = -1
+		if id < 0 {
+			continue
+		}
+		if p.rob.entries[id].inst.Op == isa.OpFMul {
+			p.reqFPMul[i] = id
+			p.reqFPAdd[i] = -1
+		}
+	}
+
+	budget := p.cfg.IssueWidth
+	p.grantBuf = p.grantBuf[:0]
+	p.grantBuf = p.intPool.Select(p.reqInt, p.grantBuf, budget)
+	nInt := len(p.grantBuf)
+	budget -= nInt
+	p.grantBuf = p.fpAddPool.Select(p.reqFPAdd, p.grantBuf, budget)
+	nAdd := len(p.grantBuf) - nInt
+	budget -= nAdd
+	p.grantBuf = p.fpMulPool.Select(p.reqFPMul, p.grantBuf, budget)
+
+	for i, g := range p.grantBuf {
+		switch {
+		case i < nInt:
+			p.issueInt(g)
+		case i < nInt+nAdd:
+			p.issueFPAdd(g)
+		default:
+			p.issueFPMul(g)
+		}
+	}
+}
+
+func (p *Pipeline) issueInt(g seltree.Grant) {
+	e := &p.rob.entries[g.ID]
+	p.intQ.Issue(g.ID)
+	e.state = slotIssued
+	e.unit = int8(g.Unit)
+	p.Issued++
+
+	// Register reads through this ALU's register-file copy ports.
+	ops := 0
+	if e.src1Phys >= 0 {
+		ops++
+	}
+	if e.src2Phys >= 0 {
+		ops++
+	}
+	p.rf.ChargeRead(g.Unit, ops)
+
+	var lat int
+	switch e.inst.Op {
+	case isa.OpMul:
+		p.meter.Deposit(p.bIntExec[g.Unit], power.IntMulOp)
+		e.value = isa.ALUResult(e.inst.Op, p.physInt[e.src1Phys], p.physInt[e.src2Phys])
+		lat = p.cfg.IntMulLatency
+	case isa.OpBr:
+		p.meter.Deposit(p.bIntExec[g.Unit], power.IntALUOp)
+		p.Branches++
+		lat = p.cfg.IntALULatency
+	case isa.OpLoad, isa.OpLoadFP:
+		p.meter.Deposit(p.bIntExec[g.Unit], power.IntALUOp) // AGU
+		p.meter.Deposit(p.bLdStQ, power.LSQOp)
+		p.meter.Deposit(p.bDTB, power.TLBAccess)
+		p.Loads++
+		lat = p.loadLatency(e)
+		e.value = p.loadValue(e)
+	case isa.OpStore:
+		p.meter.Deposit(p.bIntExec[g.Unit], power.IntALUOp) // AGU + data read
+		p.meter.Deposit(p.bLdStQ, power.LSQOp)
+		p.meter.Deposit(p.bDTB, power.TLBAccess)
+		p.Stores++
+		e.value = p.physInt[e.src2Phys]
+		lat = p.cfg.IntALULatency
+	default:
+		p.meter.Deposit(p.bIntExec[g.Unit], power.IntALUOp)
+		e.value = isa.ALUResult(e.inst.Op, p.physInt[e.src1Phys], p.physInt[e.src2Phys])
+		lat = p.cfg.IntALULatency
+	}
+	p.schedule(g.ID, lat)
+}
+
+// loadLatency computes a load's completion latency including AGU, L1D port
+// queueing, and the cache/memory access.
+func (p *Pipeline) loadLatency(e *robEntry) int {
+	// Pick the earliest-free L1D port.
+	best := 0
+	for i := 1; i < len(p.portFree); i++ {
+		if p.portFree[i] < p.portFree[best] {
+			best = i
+		}
+	}
+	start := p.cycle + int64(p.cfg.IntALULatency)
+	if p.portFree[best] > start {
+		start = p.portFree[best]
+	}
+	p.portFree[best] = start + 1
+	lat, _ := p.mem.Data(e.inst.Addr)
+	p.meter.Deposit(p.bDcache, power.DCacheAccess)
+	return int(start-p.cycle) + lat
+}
+
+// loadValue resolves the load's value: forward from the youngest older
+// in-flight store to the same address, else read committed memory. All
+// older stores are resolved by the wakeup constraint, so this is exact.
+func (p *Pipeline) loadValue(e *robEntry) uint64 {
+	var (
+		bestSeq uint64
+		found   bool
+		val     uint64
+	)
+	idx := p.rob.lsqHead
+	for n := 0; n < p.rob.lsqCount; n++ {
+		le := &p.rob.lsq[idx]
+		if le.isStore && le.seq < e.inst.Seq && le.addr == e.inst.Addr &&
+			(!found || le.seq > bestSeq) {
+			bestSeq, val, found = le.seq, le.data, true
+		}
+		idx = (idx + 1) % len(p.rob.lsq)
+	}
+	if found {
+		return val
+	}
+	return p.committedMem.ReadMem(e.inst.Addr)
+}
+
+func (p *Pipeline) issueFPAdd(g seltree.Grant) {
+	e := &p.rob.entries[g.ID]
+	p.fpQ.Issue(g.ID)
+	e.state = slotIssued
+	e.unit = int8(g.Unit)
+	p.Issued++
+	p.meter.Deposit(p.bFPAdd[g.Unit], power.FPAddOp)
+	p.meter.Deposit(p.bFPReg, 2*power.RFRead)
+	e.value = isa.ALUResult(e.inst.Op, p.physFP[e.src1Phys], p.physFP[e.src2Phys])
+	p.schedule(g.ID, p.cfg.FPAddLatency)
+}
+
+func (p *Pipeline) issueFPMul(g seltree.Grant) {
+	e := &p.rob.entries[g.ID]
+	p.fpQ.Issue(g.ID)
+	e.state = slotIssued
+	e.unit = int8(g.Unit)
+	p.Issued++
+	p.meter.Deposit(p.bFPMulBlk, power.FPMulOp)
+	p.meter.Deposit(p.bFPReg, 2*power.RFRead)
+	e.value = isa.ALUResult(e.inst.Op, p.physFP[e.src1Phys], p.physFP[e.src2Phys])
+	p.schedule(g.ID, p.cfg.FPMulLatency)
+}
+
+func (p *Pipeline) schedule(id int32, lat int) {
+	if lat < 1 {
+		lat = 1
+	}
+	if lat >= completionRing {
+		panic(fmt.Sprintf("pipeline: latency %d exceeds completion ring", lat))
+	}
+	at := (p.cycle + int64(lat)) % completionRing
+	p.completions[at] = append(p.completions[at], id)
+}
+
+// frontendStage fetches, renames and dispatches up to FetchWidth
+// instructions.
+func (p *Pipeline) frontendStage() {
+	if p.fetchOff || p.mispredictInFlight || p.cycle < p.fetchResume {
+		return
+	}
+	for n := 0; n < p.cfg.FetchWidth; n++ {
+		if p.maxFetched > 0 && p.Fetched >= p.maxFetched {
+			return
+		}
+		if !p.hasNext {
+			p.nextInst = p.gen.Next()
+			p.hasNext = true
+		}
+		in := &p.nextInst
+
+		// Structural resources.
+		if p.rob.count >= len(p.rob.entries) {
+			p.StallROB++
+			return
+		}
+		if in.Op.IsMem() && p.rob.lsqCount >= len(p.rob.lsq) {
+			p.StallLSQ++
+			return
+		}
+		fp := in.Op.IsFP()
+		if fp {
+			if p.fpQ.Full() {
+				p.StallIQ++
+				return
+			}
+		} else if p.intQ.Full() {
+			p.StallIQ++
+			return
+		}
+		if in.Op.HasDest() {
+			if in.Op.DestIsFP() {
+				if len(p.freeFP) == 0 {
+					return
+				}
+			} else if len(p.freeInt) == 0 {
+				return
+			}
+		}
+
+		// Instruction cache: one access per new line.
+		line := in.PC / uint64(p.cfg.L1LineB)
+		if line != p.curLine {
+			p.curLine = line
+			lat, lvl := p.mem.Inst(in.PC)
+			p.meter.Deposit(p.bIcache, power.ICacheAccess)
+			p.meter.Deposit(p.bITB, power.TLBAccess)
+			if lvl != cache.LevelL1 {
+				// Fetch stalls for the miss; resume when the line
+				// arrives.
+				p.fetchResume = p.cycle + int64(lat)
+				return
+			}
+		}
+
+		// Branch prediction at fetch (trace-driven redirect model).
+		endGroup := false
+		if in.Op.IsBranch() {
+			p.meter.Deposit(p.bBpred, power.BpredAccess)
+			p.bp.Predict(in.PC)
+			miss := p.bp.Update(in.PC, in.Taken, in.Target)
+			if miss {
+				p.Mispredicts++
+				p.mispredictInFlight = true
+				endGroup = true
+			} else if in.Taken {
+				endGroup = true // taken branch ends the fetch group
+			}
+		}
+
+		p.dispatch(*in, fp)
+		p.hasNext = false
+		p.Fetched++
+		if endGroup {
+			if p.mispredictInFlight {
+				// Mark the just-dispatched branch as the redirect source.
+				idx := (p.rob.tail + len(p.rob.entries) - 1) % len(p.rob.entries)
+				p.rob.entries[idx].mispredct = true
+			}
+			return
+		}
+	}
+}
+
+// dispatch renames the instruction, allocates active-list/LSQ entries and
+// inserts it into its issue queue. Resource availability was checked by
+// the caller.
+func (p *Pipeline) dispatch(in isa.Inst, fp bool) {
+	idx := int32(p.rob.tail)
+	e := &p.rob.entries[idx]
+	*e = robEntry{inst: in, state: slotInQueue, fp: fp, lsqIdx: -1,
+		destPhys: -1, prevPhys: -1, src1Phys: -1, src2Phys: -1}
+
+	// Rename sources through the map table of the queue's side (FP loads
+	// source their address from the integer file).
+	if fp {
+		p.meter.Deposit(p.bFPMap, power.RenameOp)
+		if in.Src1 != isa.NoReg {
+			e.src1Phys = p.ratFP[in.Src1]
+		}
+		if in.Src2 != isa.NoReg {
+			e.src2Phys = p.ratFP[in.Src2]
+		}
+	} else {
+		p.meter.Deposit(p.bIntMap, power.RenameOp)
+		if in.Src1 != isa.NoReg {
+			e.src1Phys = p.ratInt[in.Src1]
+		}
+		if in.Src2 != isa.NoReg {
+			e.src2Phys = p.ratInt[in.Src2]
+		}
+	}
+	if in.Op.HasDest() {
+		if in.Op.DestIsFP() {
+			newPhys := p.freeFP[len(p.freeFP)-1]
+			p.freeFP = p.freeFP[:len(p.freeFP)-1]
+			e.prevPhys = p.ratFP[in.Dest]
+			e.destPhys = newPhys
+			p.ratFP[in.Dest] = newPhys
+			p.readyFP[newPhys] = false
+		} else {
+			newPhys := p.freeInt[len(p.freeInt)-1]
+			p.freeInt = p.freeInt[:len(p.freeInt)-1]
+			e.prevPhys = p.ratInt[in.Dest]
+			e.destPhys = newPhys
+			p.ratInt[in.Dest] = newPhys
+			p.readyInt[newPhys] = false
+		}
+	}
+
+	if in.Op.IsMem() {
+		l := int32(p.rob.lsqTail)
+		p.rob.lsq[l] = lsqEntry{rob: idx, seq: in.Seq, isStore: in.Op == isa.OpStore, addr: in.Addr}
+		if in.Op == isa.OpStore {
+			p.unresolved = append(p.unresolved, storeRef{seq: in.Seq, addr: in.Addr})
+		}
+		p.rob.lsqTail = (p.rob.lsqTail + 1) % len(p.rob.lsq)
+		p.rob.lsqCount++
+		e.lsqIdx = l
+		p.meter.Deposit(p.bLdStQ, power.LSQOp)
+	}
+
+	if fp {
+		p.fpQ.Dispatch(idx)
+	} else {
+		p.intQ.Dispatch(idx)
+	}
+	p.rob.tail = (p.rob.tail + 1) % len(p.rob.entries)
+	p.rob.count++
+}
+
+// DrainEnergies moves the accumulated per-half issue-queue energy and
+// per-copy register-file energy into the power meter; the simulator calls
+// it once per sensor interval.
+func (p *Pipeline) DrainEnergies() {
+	p.meter.Deposit(p.bIntQ0, p.intQ.DrainEnergy(0))
+	p.meter.Deposit(p.bIntQ1, p.intQ.DrainEnergy(1))
+	p.meter.Deposit(p.bFPQ0, p.fpQ.DrainEnergy(0))
+	p.meter.Deposit(p.bFPQ1, p.fpQ.DrainEnergy(1))
+	for c := 0; c < p.rf.Copies(); c++ {
+		p.meter.Deposit(p.bIntReg[c], p.rf.DrainEnergy(c))
+	}
+}
+
+// Drain stops fetch and runs the core until the active list empties,
+// returning the number of cycles it took. A drain that exceeds maxCycles
+// panics (deadlock guard for tests).
+func (p *Pipeline) Drain(maxCycles int) int {
+	p.SetFetchEnabled(false)
+	n := 0
+	for p.rob.count > 0 {
+		p.Cycle()
+		n++
+		if n > maxCycles {
+			panic("pipeline: drain did not converge (deadlock)")
+		}
+	}
+	p.SetFetchEnabled(true)
+	return n
+}
+
+// ArchState reconstructs the committed architectural state (registers via
+// the rename map, memory from the committed image). Call after Drain.
+func (p *Pipeline) ArchState() *isa.State {
+	s := isa.NewState()
+	for i := 0; i < isa.NumIntRegs; i++ {
+		s.IntReg[i] = p.physInt[p.ratInt[i]]
+		s.FPReg[i] = p.physFP[p.ratFP[i]]
+	}
+	s.Mem = make(map[uint64]uint64, len(p.committedMem.Mem))
+	for k, v := range p.committedMem.Mem {
+		s.Mem[k] = v
+	}
+	return s
+}
+
+// IPC returns committed instructions per active cycle.
+func (p *Pipeline) IPC() float64 {
+	if p.cycle == 0 {
+		return 0
+	}
+	return float64(p.Committed) / float64(p.cycle)
+}

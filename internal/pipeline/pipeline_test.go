@@ -1,0 +1,426 @@
+package pipeline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/floorplan"
+	"repro/internal/isa"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+func newPipe(cfg *config.Config, prof trace.Profile) (*Pipeline, *power.Meter) {
+	plan := floorplan.Build(cfg.Plan)
+	meter := power.NewMeter(plan, cfg)
+	gen := trace.NewGenerator(prof)
+	return New(cfg, plan, meter, gen), meter
+}
+
+// runAndValidate executes n instructions, drains, and cross-checks the
+// architectural state against the in-order reference executor.
+func runAndValidate(t *testing.T, cfg *config.Config, prof trace.Profile, n uint64) *Pipeline {
+	t.Helper()
+	p, _ := newPipe(cfg, prof)
+	p.SetFetchLimit(n)
+	for p.Fetched < n {
+		p.Cycle()
+		if p.Cycles() > int64(n*100+10_000) {
+			t.Fatalf("%s: no forward progress (fetched %d of %d in %d cycles)",
+				prof.Name, p.Fetched, n, p.Cycles())
+		}
+	}
+	p.Drain(100_000)
+	if p.Committed != n {
+		t.Fatalf("%s: committed %d, want %d", prof.Name, p.Committed, n)
+	}
+
+	ref := isa.NewState()
+	gen := trace.NewGenerator(prof)
+	for i := uint64(0); i < n; i++ {
+		ref.Exec(gen.Next())
+	}
+	if d := p.ArchState().Diff(ref); d != "" {
+		t.Fatalf("%s: out-of-order result differs from in-order reference: %s", prof.Name, d)
+	}
+	return p
+}
+
+func TestOoOMatchesReferenceAllBenchmarks(t *testing.T) {
+	cfg := config.Default()
+	for _, prof := range trace.Profiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			runAndValidate(t, cfg, prof, 20_000)
+		})
+	}
+}
+
+func TestOoOMatchesReferenceLongerRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long validation run")
+	}
+	cfg := config.Default()
+	prof, _ := trace.ByName("eon")
+	runAndValidate(t, cfg, prof, 200_000)
+}
+
+func TestIPCInPlausibleRange(t *testing.T) {
+	cfg := config.Default()
+	for _, name := range []string{"eon", "mcf", "swim"} {
+		prof, _ := trace.ByName(name)
+		p, _ := newPipe(cfg, prof)
+		p.SetFetchLimit(50_000)
+		for p.Fetched < 50_000 {
+			p.Cycle()
+		}
+		ipc := p.IPC()
+		if ipc <= 0.05 || ipc > float64(cfg.IssueWidth) {
+			t.Errorf("%s: IPC %.3f implausible", name, ipc)
+		}
+		t.Logf("%s: IPC %.2f", name, ipc)
+	}
+}
+
+func TestHighILPBeatsMemoryBound(t *testing.T) {
+	cfg := config.Default()
+	ipc := func(name string) float64 {
+		prof, _ := trace.ByName(name)
+		p, _ := newPipe(cfg, prof)
+		p.SetFetchLimit(60_000)
+		for p.Fetched < 60_000 {
+			p.Cycle()
+		}
+		return p.IPC()
+	}
+	eon, mcf := ipc("eon"), ipc("mcf")
+	if eon < 1.5*mcf {
+		t.Fatalf("eon IPC %.2f not clearly above mcf %.2f", eon, mcf)
+	}
+}
+
+func TestALUUtilizationAsymmetry(t *testing.T) {
+	// §2.2: static select-tree priority concentrates work on ALU0.
+	cfg := config.Default()
+	prof, _ := trace.ByName("gzip")
+	p, _ := newPipe(cfg, prof)
+	p.SetFetchLimit(50_000)
+	for p.Fetched < 50_000 {
+		p.Cycle()
+	}
+	g := p.IntPool().Grants
+	if g[0] == 0 {
+		t.Fatal("ALU0 never used")
+	}
+	if g[0] < 3*g[5] {
+		t.Fatalf("ALU grants not asymmetric: %v", g)
+	}
+	for u := 1; u < 6; u++ {
+		if g[u] > g[u-1] {
+			t.Fatalf("ALU grants not monotone in priority: %v", g)
+		}
+	}
+}
+
+func TestRoundRobinEqualizesALUs(t *testing.T) {
+	cfg := config.Default()
+	cfg.Techniques.ALU = config.ALURoundRobin
+	prof, _ := trace.ByName("gzip")
+	p, _ := newPipe(cfg, prof)
+	p.SetFetchLimit(50_000)
+	for p.Fetched < 50_000 {
+		p.Cycle()
+	}
+	g := p.IntPool().Grants
+	min, max := g[0], g[0]
+	for _, v := range g {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if float64(max) > 1.5*float64(min) {
+		t.Fatalf("round-robin grants unbalanced: %v", g)
+	}
+}
+
+func TestIntQueueHalfActivityAsymmetry(t *testing.T) {
+	// §2.1: the physical tail half of the queue compacts more.
+	cfg := config.Default()
+	prof, _ := trace.ByName("eon")
+	p, _ := newPipe(cfg, prof)
+	p.Warmup(400_000)
+	p.SetFetchLimit(60_000)
+	for p.Fetched < 60_000 {
+		p.Cycle()
+	}
+	q := p.IntQueue()
+	if q.HalfMoves[1] <= q.HalfMoves[0] {
+		t.Fatalf("tail half moves %d not above head half %d", q.HalfMoves[1], q.HalfMoves[0])
+	}
+	if q.WrapMoves != 0 {
+		t.Fatal("wrap moves in conventional mode")
+	}
+}
+
+func TestFPWorkloadUsesFPPipes(t *testing.T) {
+	cfg := config.Default()
+	prof, _ := trace.ByName("swim")
+	p, _ := newPipe(cfg, prof)
+	p.SetFetchLimit(30_000)
+	for p.Fetched < 30_000 {
+		p.Cycle()
+	}
+	if p.FPAddPool().Grants[0] == 0 {
+		t.Fatal("FP adder never used on swim")
+	}
+	if p.FPMulPool().Grants[0] == 0 {
+		t.Fatal("FP multiplier never used on swim")
+	}
+	if p.FPQueue().Issues == 0 {
+		t.Fatal("FP queue idle on swim")
+	}
+}
+
+func TestBusyALUsDegradeButPreserveCorrectness(t *testing.T) {
+	// Turning off ALUs 0-3 must slow the machine down but not break it.
+	cfg := config.Default()
+	prof, _ := trace.ByName("gzip")
+
+	full, _ := newPipe(cfg, prof)
+	full.SetFetchLimit(20_000)
+	for full.Fetched < 20_000 {
+		full.Cycle()
+	}
+
+	p, _ := newPipe(cfg, prof)
+	for u := 0; u < 4; u++ {
+		p.IntPool().SetBusy(u, true)
+	}
+	p.SetFetchLimit(20_000)
+	for p.Fetched < 20_000 {
+		p.Cycle()
+		if p.Cycles() > 4_000_000 {
+			t.Fatal("no progress with 2 ALUs")
+		}
+	}
+	p.Drain(100_000)
+
+	ref := isa.NewState()
+	gen := trace.NewGenerator(prof)
+	for i := 0; i < 20_000; i++ {
+		ref.Exec(gen.Next())
+	}
+	if d := p.ArchState().Diff(ref); d != "" {
+		t.Fatalf("busy-ALU run diverged: %s", d)
+	}
+	if p.IntPool().Grants[0] != 0 {
+		t.Fatal("busy ALU0 granted")
+	}
+	if p.IPC() >= full.IPC() {
+		t.Fatalf("2-ALU IPC %.2f not below 6-ALU IPC %.2f", p.IPC(), full.IPC())
+	}
+}
+
+func TestToggledQueueStillCorrect(t *testing.T) {
+	// Toggle the issue queues every 2000 cycles mid-run: results must
+	// stay identical to the reference.
+	cfg := config.Default()
+	prof, _ := trace.ByName("crafty")
+	p, _ := newPipe(cfg, prof)
+	const n = 30_000
+	p.SetFetchLimit(n)
+	for p.Fetched < n {
+		p.Cycle()
+		if p.Cycles()%2000 == 0 {
+			p.IntQueue().Toggle()
+			p.FPQueue().Toggle()
+		}
+	}
+	p.Drain(100_000)
+	ref := isa.NewState()
+	gen := trace.NewGenerator(prof)
+	for i := 0; i < n; i++ {
+		ref.Exec(gen.Next())
+	}
+	if d := p.ArchState().Diff(ref); d != "" {
+		t.Fatalf("toggled run diverged: %s", d)
+	}
+	if p.IntQueue().WrapMoves == 0 {
+		t.Fatal("mode-1 epochs produced no wrap compactions")
+	}
+}
+
+func TestRegfileReadWriteAccounting(t *testing.T) {
+	cfg := config.Default()
+	prof, _ := trace.ByName("gzip")
+	p, _ := newPipe(cfg, prof)
+	p.SetFetchLimit(20_000)
+	for p.Fetched < 20_000 {
+		p.Cycle()
+	}
+	rf := p.RegFile()
+	// Priority mapping concentrates reads on copy 0 (high-priority ALUs).
+	if rf.Reads[0] == 0 {
+		t.Fatal("no register reads recorded")
+	}
+	if rf.Reads[0] < 3*rf.Reads[1] {
+		t.Fatalf("priority mapping read asymmetry missing: %v vs %v", rf.Reads[0], rf.Reads[1])
+	}
+	// Writes go to both copies equally.
+	if rf.Writes[0] != rf.Writes[1] {
+		t.Fatalf("write counts differ: %v vs %v", rf.Writes[0], rf.Writes[1])
+	}
+}
+
+func TestBalancedMappingSpreadsReads(t *testing.T) {
+	cfg := config.Default()
+	cfg.Techniques.RFMap = config.MapBalanced
+	prof, _ := trace.ByName("gzip")
+	p, _ := newPipe(cfg, prof)
+	p.Warmup(400_000)
+	p.SetFetchLimit(20_000)
+	for p.Fetched < 20_000 {
+		p.Cycle()
+	}
+	rf := p.RegFile()
+	hi, lo := rf.Reads[0], rf.Reads[1]
+	if lo > hi {
+		hi, lo = lo, hi
+	}
+	if float64(hi) > 1.8*float64(lo) {
+		t.Fatalf("balanced mapping reads skewed: %v", rf.Reads)
+	}
+}
+
+func TestDrainEnergiesDepositToMeter(t *testing.T) {
+	cfg := config.Default()
+	prof, _ := trace.ByName("eon")
+	p, meter := newPipe(cfg, prof)
+	p.Warmup(400_000)
+	p.SetFetchLimit(5_000)
+	for p.Fetched < 5_000 {
+		p.Cycle()
+	}
+	p.DrainEnergies()
+	pw := meter.Drain(int(p.Cycles()), 0, nil)
+	plan := floorplan.Build(cfg.Plan)
+	for _, name := range []string{floorplan.IntQ0, floorplan.IntQ1, floorplan.IntReg0, "IntExec0", floorplan.ICache} {
+		idx := plan.Index(name)
+		if pw[idx] <= 0 {
+			t.Errorf("block %s has no power", name)
+		}
+	}
+	// IntExec0 must dissipate more than IntExec5 (utilization asymmetry).
+	if pw[plan.Index("IntExec0")] <= pw[plan.Index("IntExec5")] {
+		t.Error("ALU power not asymmetric")
+	}
+	// The tail half of the int queue must out-dissipate the head half.
+	if pw[plan.Index(floorplan.IntQ1)] <= pw[plan.Index(floorplan.IntQ0)] {
+		t.Error("issue-queue halves not asymmetric")
+	}
+}
+
+func TestBranchStatsAndMispredicts(t *testing.T) {
+	cfg := config.Default()
+	prof, _ := trace.ByName("gcc")
+	p, _ := newPipe(cfg, prof)
+	p.SetFetchLimit(40_000)
+	for p.Fetched < 40_000 {
+		p.Cycle()
+	}
+	if p.Branches == 0 {
+		t.Fatal("no branches executed")
+	}
+	if p.Mispredicts == 0 {
+		t.Fatal("gcc should mispredict sometimes")
+	}
+	rate := float64(p.Mispredicts) / float64(p.Branches)
+	if rate > 0.5 {
+		t.Fatalf("mispredict rate %.2f implausibly high", rate)
+	}
+}
+
+func TestStallCountersMove(t *testing.T) {
+	// A tiny active list forces dispatch stalls.
+	cfg := config.Default()
+	cfg.ActiveList = 16
+	cfg.PhysIntRegs = 48
+	cfg.PhysFPRegs = 48
+	prof, _ := trace.ByName("mcf")
+	p, _ := newPipe(cfg, prof)
+	p.SetFetchLimit(20_000)
+	for p.Fetched < 20_000 {
+		p.Cycle()
+	}
+	if p.StallROB == 0 {
+		t.Fatal("no ROB stalls with a 16-entry active list on mcf")
+	}
+}
+
+func TestDrainPanicsOnDeadlock(t *testing.T) {
+	cfg := config.Default()
+	prof, _ := trace.ByName("eon")
+	p, _ := newPipe(cfg, prof)
+	p.SetFetchLimit(1_000)
+	for p.Fetched < 1_000 {
+		p.Cycle()
+	}
+	// Mark every int ALU busy: in-flight int work can never issue.
+	for u := 0; u < cfg.IntALUs; u++ {
+		p.IntPool().SetBusy(u, true)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("drain converged with all ALUs off")
+		}
+	}()
+	p.Drain(5_000)
+}
+
+// Property: random valid configurations still produce reference-equal
+// results (scheduling must never change semantics).
+func TestQuickConfigVariationsPreserveSemantics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test is slow")
+	}
+	f := func(seed uint64) bool {
+		cfg := config.Default()
+		// Vary structural parameters within legal bounds.
+		widths := []int{2, 4, 6}
+		cfg.IssueWidth = widths[seed%3]
+		cfg.FetchWidth = cfg.IssueWidth
+		iqs := []int{16, 32}
+		cfg.IQEntries = iqs[(seed>>2)%2]
+		if cfg.IssueWidth > cfg.IQEntries {
+			cfg.IssueWidth = cfg.IQEntries
+		}
+		profs := trace.Profiles()
+		prof := profs[int(seed>>4)%len(profs)]
+
+		plan := floorplan.Build(cfg.Plan)
+		meter := power.NewMeter(plan, cfg)
+		p := New(cfg, plan, meter, trace.NewGenerator(prof))
+		const n = 6_000
+		p.SetFetchLimit(n)
+		for p.Fetched < n {
+			p.Cycle()
+			if p.Cycles() > 2_000_000 {
+				return false
+			}
+		}
+		p.Drain(100_000)
+		ref := isa.NewState()
+		gen := trace.NewGenerator(prof)
+		for i := 0; i < n; i++ {
+			ref.Exec(gen.Next())
+		}
+		return p.ArchState().Diff(ref) == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/floorplan"
+)
+
+func newMeter() (*Meter, *floorplan.Plan, *config.Config) {
+	cfg := config.Default()
+	plan := floorplan.Build(config.PlanIQConstrained)
+	return NewMeter(plan, cfg), plan, cfg
+}
+
+func TestTable3MatchesPaper(t *testing.T) {
+	want := map[string]float64{
+		"Compact (entry-to-entry)": 0.0123,
+		"Compact (Mux select)":     0.0023,
+		"Long Compaction":          0.0687,
+		"Counter Stage 1":          0.0011,
+		"Counter Stage 2":          0.0021,
+		"Clock Gating Logic":       0.0015,
+		"Tag Broadcast/Match":      0.0450,
+		"Payload RAM Access":       0.0675,
+		"Select Access":            0.0051,
+	}
+	rows := Table3()
+	if len(rows) != len(want) {
+		t.Fatalf("Table3 has %d rows, want %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		w, ok := want[r.Component]
+		if !ok {
+			t.Errorf("unexpected component %q", r.Component)
+			continue
+		}
+		if math.Abs(r.NanoJ-w) > 1e-9 {
+			t.Errorf("%s = %v nJ, want %v", r.Component, r.NanoJ, w)
+		}
+	}
+}
+
+func TestLongCompactionCostsMoreThanShort(t *testing.T) {
+	// The activity-toggled queue pays a premium for wrap-around moves;
+	// the model must keep that disadvantage (paper §3.1).
+	if LongCompaction <= CompactEntryToEntry {
+		t.Fatal("long compaction not more expensive than entry-to-entry")
+	}
+}
+
+func TestDepositAndDrain(t *testing.T) {
+	m, plan, cfg := newMeter()
+	iq0 := plan.Index(floorplan.IntQ0)
+	const joules = 1e-6
+	m.Deposit(iq0, joules)
+	p := m.Drain(1000, 0, nil)
+	seconds := 1000 * cfg.CycleSeconds()
+	idle := plan.Blocks[iq0].Area() * IdleActiveDensity * seconds
+	want := (joules + idle) / seconds
+	if math.Abs(p[iq0]-want)/want > 1e-12 {
+		t.Fatalf("power %v, want %v", p[iq0], want)
+	}
+	// Accumulators reset after drain: a second drain has idle power only.
+	p2 := m.Drain(1000, 0, p)
+	wantIdle := idle / seconds
+	if math.Abs(p2[iq0]-wantIdle)/wantIdle > 1e-12 {
+		t.Fatalf("second drain %v, want idle-only %v", p2[iq0], wantIdle)
+	}
+}
+
+func TestStallCyclesUseLowerDensity(t *testing.T) {
+	m, _, _ := newMeter()
+	active := m.Drain(1000, 0, nil)
+	m2, _, _ := newMeter()
+	stalled := m2.Drain(0, 1000, nil)
+	for i := range active {
+		if stalled[i] >= active[i] {
+			t.Fatalf("block %d: stall power %v >= active power %v", i, stalled[i], active[i])
+		}
+		if stalled[i] <= 0 {
+			t.Fatalf("block %d: stall power %v not positive (leakage must remain)", i, stalled[i])
+		}
+	}
+}
+
+func TestMixedInterval(t *testing.T) {
+	m, plan, cfg := newMeter()
+	p := m.Drain(600, 400, nil)
+	sec := 1000 * cfg.CycleSeconds()
+	area := plan.Blocks[0].Area()
+	want := area * (IdleActiveDensity*600*cfg.CycleSeconds() + IdleStallDensity*400*cfg.CycleSeconds()) / sec
+	if math.Abs(p[0]-want)/want > 1e-12 {
+		t.Fatalf("mixed interval power %v, want %v", p[0], want)
+	}
+}
+
+func TestLifetimeTotals(t *testing.T) {
+	m, plan, _ := newMeter()
+	idx := plan.Index(floorplan.IntExec(0))
+	m.Deposit(idx, 2e-6)
+	m.Drain(100, 0, nil)
+	m.Deposit(idx, 3e-6)
+	m.Drain(100, 0, nil)
+	got := m.TotalEnergy(idx)
+	if got < 5e-6 {
+		t.Fatalf("total energy %v, want >= 5e-6 (deposits) plus idle", got)
+	}
+	if m.TotalCycles != 200 {
+		t.Fatalf("TotalCycles %d", m.TotalCycles)
+	}
+	if m.TotalChipEnergy() <= got {
+		t.Fatal("chip energy should exceed single block")
+	}
+	if m.AvgChipPower() <= 0 {
+		t.Fatal("avg chip power not positive")
+	}
+}
+
+func TestAvgChipPowerInPlausibleRange(t *testing.T) {
+	// Idle power alone should land the chip in a plausible band for a
+	// 90nm high-performance core (tens of watts once dynamic energy is
+	// added; idle floor must be meaningfully smaller).
+	m, plan, _ := newMeter()
+	m.Drain(10000, 0, nil)
+	idleW := m.AvgChipPower()
+	if idleW < 3 || idleW > 40 {
+		t.Fatalf("idle chip power %v W implausible", idleW)
+	}
+	_ = plan
+}
+
+func TestResetClears(t *testing.T) {
+	m, _, _ := newMeter()
+	m.Deposit(0, 1e-6)
+	m.Drain(10, 0, nil)
+	m.Reset()
+	if m.TotalChipEnergy() != 0 || m.TotalCycles != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	if m.AvgChipPower() != 0 {
+		t.Fatal("AvgChipPower after reset")
+	}
+}
+
+func TestDrainPanics(t *testing.T) {
+	m, _, _ := newMeter()
+	for name, f := range map[string]func(){
+		"empty interval": func() { m.Drain(0, 0, nil) },
+		"bad dst":        func() { m.Drain(10, 0, make([]float64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIndexPassthrough(t *testing.T) {
+	m, plan, _ := newMeter()
+	if m.Index(floorplan.IntQ1) != plan.Index(floorplan.IntQ1) {
+		t.Fatal("Index mismatch")
+	}
+}
+
+func TestDrainReusesDst(t *testing.T) {
+	m, _, _ := newMeter()
+	dst := make([]float64, len(m.energy))
+	out := m.Drain(10, 0, dst)
+	if &out[0] != &dst[0] {
+		t.Fatal("Drain reallocated dst")
+	}
+}

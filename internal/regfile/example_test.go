@@ -1,0 +1,20 @@
+package regfile_test
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/regfile"
+)
+
+// Example shows the Figure 4 read-port mappings for the Table 2 machine
+// (six ALUs across two register-file copies).
+func Example() {
+	for _, m := range []config.RFMapping{config.MapPriority, config.MapBalanced} {
+		f := regfile.New(2, 6, m, config.WriteMargin, 160)
+		fmt.Printf("%-9s copy0=%v copy1=%v\n", m, f.ALUsOf(0), f.ALUsOf(1))
+	}
+	// Output:
+	// priority  copy0=[0 1 2] copy1=[3 4 5]
+	// balanced  copy0=[0 2 4] copy1=[1 3 5]
+}

@@ -1,0 +1,235 @@
+// Package regfile models the integer register-file copies of §2.3.
+// Processors replicate the register file so each copy needs fewer read
+// ports; every ALU is hard-wired to two read ports of one copy, and all
+// results are written to every copy. Because the wiring is static, the ALU
+// priority asymmetry (see seltree) becomes a register-file *port*
+// asymmetry, and the ALU→copy mapping decides how that asymmetry lands on
+// the two copies:
+//
+//   - Priority mapping: high-priority ALUs on copy 0, low on copy 1
+//     (Figure 4 right). Concentrates reads in one copy.
+//   - Balanced mapping: interleaved priorities (Figure 4 middle). Spreads
+//     reads across copies, but each copy's ports stay asymmetric.
+//   - Completely-balanced mapping: every ALU reads one operand from each
+//     copy (Figure 4 left). Rejected by the paper for wiring cost; kept
+//     here as an ablation.
+//
+// Fine-grain turnoff marks the ALUs of an overheated copy busy so the
+// other copy carries execution while the hot one cools. Register writes
+// during cooling follow one of two paper policies: margin writes (turn off
+// slightly below the critical threshold and keep writing) or copy-on-cool
+// (block writes, then refresh the stale copy from a live one afterwards).
+package regfile
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/power"
+)
+
+// File is a set of integer register-file copies with a fixed read-port
+// mapping.
+type File struct {
+	copies  int
+	alus    int
+	mapping config.RFMapping
+	policy  config.RFWritePolicy
+
+	aluToCopy []int // reads: copy serving each ALU; -1 = split across all
+	off       []bool
+	stale     []bool
+	physRegs  int
+
+	energy []float64 // joules per copy since last drain
+
+	// Statistics.
+	Reads         []uint64 // per copy
+	Writes        []uint64 // per copy
+	TurnoffEvents []uint64 // per copy: transitions into the off state
+	RestoreCopies uint64   // copy-on-cool refresh operations
+}
+
+// New builds a register file with the given number of copies serving the
+// given ALUs under the chosen mapping and write policy. physRegs sizes the
+// copy-on-cool refresh cost.
+func New(copies, alus int, mapping config.RFMapping, policy config.RFWritePolicy, physRegs int) *File {
+	if copies <= 0 || alus <= 0 || alus%copies != 0 {
+		panic(fmt.Sprintf("regfile: %d ALUs across %d copies", alus, copies))
+	}
+	f := &File{
+		copies:        copies,
+		alus:          alus,
+		mapping:       mapping,
+		policy:        policy,
+		physRegs:      physRegs,
+		aluToCopy:     make([]int, alus),
+		off:           make([]bool, copies),
+		stale:         make([]bool, copies),
+		energy:        make([]float64, copies),
+		Reads:         make([]uint64, copies),
+		Writes:        make([]uint64, copies),
+		TurnoffEvents: make([]uint64, copies),
+	}
+	perCopy := alus / copies
+	for a := 0; a < alus; a++ {
+		switch mapping {
+		case config.MapPriority:
+			// ALUs 0..perCopy-1 -> copy 0, next group -> copy 1, ...
+			f.aluToCopy[a] = a / perCopy
+		case config.MapBalanced:
+			// Interleave: ALU a -> copy a mod copies.
+			f.aluToCopy[a] = a % copies
+		case config.MapCompletelyBalanced:
+			f.aluToCopy[a] = -1
+		default:
+			panic("regfile: unknown mapping")
+		}
+	}
+	return f
+}
+
+// Copies returns the number of register-file copies.
+func (f *File) Copies() int { return f.copies }
+
+// Mapping returns the configured read-port mapping.
+func (f *File) Mapping() config.RFMapping { return f.mapping }
+
+// CopyOf returns the copy whose read ports serve ALU a, or -1 under the
+// completely-balanced mapping (reads split across all copies).
+func (f *File) CopyOf(a int) int { return f.aluToCopy[a] }
+
+// ALUsOf returns the ALUs whose read ports are wired to copy c. Under the
+// completely-balanced mapping every ALU touches every copy.
+func (f *File) ALUsOf(c int) []int {
+	var out []int
+	for a := 0; a < f.alus; a++ {
+		if f.aluToCopy[a] == c || f.aluToCopy[a] == -1 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ChargeRead accounts the register reads for one instruction executing on
+// ALU a with the given operand count. Under per-copy mappings both reads
+// hit ALU a's copy; under the completely-balanced mapping the reads are
+// spread one per copy.
+func (f *File) ChargeRead(a, operands int) {
+	if operands <= 0 {
+		return
+	}
+	c := f.aluToCopy[a]
+	if c >= 0 {
+		f.energy[c] += float64(operands) * power.RFRead
+		f.Reads[c] += uint64(operands)
+		return
+	}
+	for i := 0; i < operands; i++ {
+		cc := i % f.copies
+		f.energy[cc] += power.RFRead
+		f.Reads[cc]++
+	}
+}
+
+// ChargeWrite accounts one result write. All copies are written — that is
+// what keeps them coherent — except copies blocked by the copy-on-cool
+// policy, which go stale instead.
+func (f *File) ChargeWrite() {
+	for c := 0; c < f.copies; c++ {
+		if f.off[c] && f.policy == config.WriteCopyOnCool {
+			f.stale[c] = true
+			continue
+		}
+		f.energy[c] += power.RFWrite
+		f.Writes[c]++
+	}
+}
+
+// SetOff turns copy c off (thermal turnoff) or back on. Turning a stale
+// copy back on under the copy-on-cool policy triggers the refresh: every
+// physical register is copied in from a live copy, charging write energy
+// for the whole file (the paper notes this amortizes to negligible time
+// over a cooling interval; we still charge the energy).
+func (f *File) SetOff(c int, off bool) {
+	if off == f.off[c] {
+		return
+	}
+	f.off[c] = off
+	if off {
+		f.TurnoffEvents[c]++
+		return
+	}
+	if f.stale[c] {
+		f.energy[c] += float64(f.physRegs) * power.RFWrite
+		f.Writes[c] += uint64(f.physRegs)
+		f.stale[c] = false
+		f.RestoreCopies++
+	}
+}
+
+// Off reports whether copy c is currently turned off.
+func (f *File) Off(c int) bool { return f.off[c] }
+
+// Stale reports whether copy c has missed writes (copy-on-cool only).
+func (f *File) Stale(c int) bool { return f.stale[c] }
+
+// Readable reports whether copy c may serve reads: it must be on and must
+// not be stale. The thermal manager keeps the ALUs of an off copy busy, so
+// in normal operation reads never reach an unreadable copy; this predicate
+// is the safety check.
+func (f *File) Readable(c int) bool { return !f.off[c] && !f.stale[c] }
+
+// AllOff reports whether every copy is off (forces a global stall).
+func (f *File) AllOff() bool {
+	for _, o := range f.off {
+		if !o {
+			return false
+		}
+	}
+	return true
+}
+
+// DrainEnergy returns and clears the accumulated joules of copy c.
+func (f *File) DrainEnergy(c int) float64 {
+	e := f.energy[c]
+	f.energy[c] = 0
+	return e
+}
+
+// TurnoffThreshold returns the temperature at which a copy should be
+// turned off given the critical threshold: the margin-writes policy trips
+// early so writes can continue safely below critical.
+func (f *File) TurnoffThreshold(maxTempK, marginK float64) float64 {
+	if f.policy == config.WriteMargin {
+		return maxTempK - marginK
+	}
+	return maxTempK
+}
+
+// Policy returns the configured write policy.
+func (f *File) Policy() config.RFWritePolicy { return f.policy }
+
+// Table1Row is one cell row of the paper's Table 1: the utilization
+// symmetry properties of a mapping with and without fine-grain turnoff.
+type Table1Row struct {
+	PowerDensity string // "conventional" or "fine-grain turnoff"
+	Balanced     string
+	Priority     string
+}
+
+// Table1 returns the paper's Table 1 ("Register-port mappings").
+func Table1() []Table1Row {
+	return []Table1Row{
+		{
+			PowerDensity: "conventional",
+			Balanced:     "symmetric across copies but not within",
+			Priority:     "symmetric only within high-priority copy; not other copies",
+		},
+		{
+			PowerDensity: "fine-grain turnoff",
+			Balanced:     "symmetric across copies but not within",
+			Priority:     "symmetric both within and across copies",
+		},
+	}
+}

@@ -1,0 +1,236 @@
+package regfile
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/power"
+)
+
+func TestPriorityMapping(t *testing.T) {
+	f := New(2, 6, config.MapPriority, config.WriteMargin, 160)
+	want := []int{0, 0, 0, 1, 1, 1}
+	for a, w := range want {
+		if got := f.CopyOf(a); got != w {
+			t.Errorf("priority: ALU %d -> copy %d, want %d", a, got, w)
+		}
+	}
+	if alus := f.ALUsOf(0); len(alus) != 3 || alus[0] != 0 || alus[2] != 2 {
+		t.Errorf("ALUsOf(0) = %v", alus)
+	}
+}
+
+func TestBalancedMapping(t *testing.T) {
+	f := New(2, 6, config.MapBalanced, config.WriteMargin, 160)
+	want := []int{0, 1, 0, 1, 0, 1}
+	for a, w := range want {
+		if got := f.CopyOf(a); got != w {
+			t.Errorf("balanced: ALU %d -> copy %d, want %d", a, got, w)
+		}
+	}
+	// Each copy gets one of the two highest-priority ALUs — the defining
+	// property of interleaving.
+	if f.CopyOf(0) == f.CopyOf(1) {
+		t.Error("balanced mapping put both top-priority ALUs on one copy")
+	}
+}
+
+func TestCompletelyBalancedMapping(t *testing.T) {
+	f := New(2, 6, config.MapCompletelyBalanced, config.WriteMargin, 160)
+	for a := 0; a < 6; a++ {
+		if f.CopyOf(a) != -1 {
+			t.Errorf("completely-balanced: ALU %d pinned to copy %d", a, f.CopyOf(a))
+		}
+	}
+	if alus := f.ALUsOf(1); len(alus) != 6 {
+		t.Errorf("every ALU should touch copy 1, got %v", alus)
+	}
+}
+
+func TestReadChargingPerCopyMapping(t *testing.T) {
+	f := New(2, 6, config.MapPriority, config.WriteMargin, 160)
+	f.ChargeRead(1, 2) // ALU 1 -> copy 0
+	f.ChargeRead(4, 2) // ALU 4 -> copy 1
+	f.ChargeRead(5, 1)
+	if f.Reads[0] != 2 || f.Reads[1] != 3 {
+		t.Fatalf("reads %v/%v", f.Reads[0], f.Reads[1])
+	}
+	want0 := 2 * power.RFRead
+	if got := f.DrainEnergy(0); math.Abs(got-want0) > 1e-18 {
+		t.Fatalf("copy0 energy %v, want %v", got, want0)
+	}
+	if f.DrainEnergy(0) != 0 {
+		t.Fatal("drain did not clear")
+	}
+}
+
+func TestReadChargingCompletelyBalancedSplits(t *testing.T) {
+	f := New(2, 6, config.MapCompletelyBalanced, config.WriteMargin, 160)
+	f.ChargeRead(0, 2)
+	if f.Reads[0] != 1 || f.Reads[1] != 1 {
+		t.Fatalf("reads %v,%v; want 1,1", f.Reads[0], f.Reads[1])
+	}
+}
+
+func TestZeroOperandReadNoop(t *testing.T) {
+	f := New(2, 6, config.MapPriority, config.WriteMargin, 160)
+	f.ChargeRead(0, 0)
+	if f.Reads[0] != 0 || f.DrainEnergy(0) != 0 {
+		t.Fatal("zero-operand read charged")
+	}
+}
+
+func TestWritesGoToAllCopies(t *testing.T) {
+	f := New(2, 6, config.MapPriority, config.WriteMargin, 160)
+	f.ChargeWrite()
+	if f.Writes[0] != 1 || f.Writes[1] != 1 {
+		t.Fatalf("writes %v,%v", f.Writes[0], f.Writes[1])
+	}
+}
+
+func TestMarginPolicyWritesContinueWhileOff(t *testing.T) {
+	f := New(2, 6, config.MapPriority, config.WriteMargin, 160)
+	f.SetOff(0, true)
+	f.ChargeWrite()
+	if f.Writes[0] != 1 {
+		t.Fatal("margin policy must keep writing the cooling copy")
+	}
+	if f.Stale(0) {
+		t.Fatal("margin policy made copy stale")
+	}
+	if f.Readable(0) {
+		t.Fatal("off copy must not be readable")
+	}
+}
+
+func TestCopyOnCoolStalenessAndRestore(t *testing.T) {
+	f := New(2, 6, config.MapPriority, config.WriteCopyOnCool, 160)
+	f.SetOff(1, true)
+	f.ChargeWrite()
+	f.ChargeWrite()
+	if f.Writes[1] != 0 {
+		t.Fatal("copy-on-cool wrote to the off copy")
+	}
+	if !f.Stale(1) {
+		t.Fatal("missed writes did not mark copy stale")
+	}
+	f.DrainEnergy(1)
+	f.SetOff(1, false)
+	if f.Stale(1) {
+		t.Fatal("restore did not clear staleness")
+	}
+	if f.RestoreCopies != 1 {
+		t.Fatalf("RestoreCopies = %d", f.RestoreCopies)
+	}
+	// Refresh writes all 160 physical registers.
+	if f.Writes[1] != 160 {
+		t.Fatalf("refresh wrote %d regs", f.Writes[1])
+	}
+	want := 160 * power.RFWrite
+	if got := f.DrainEnergy(1); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("refresh energy %v, want %v", got, want)
+	}
+	if !f.Readable(1) {
+		t.Fatal("restored copy not readable")
+	}
+}
+
+func TestCopyOnCoolNoRestoreIfNeverStale(t *testing.T) {
+	f := New(2, 6, config.MapPriority, config.WriteCopyOnCool, 160)
+	f.SetOff(0, true)
+	f.SetOff(0, false) // no writes happened while off
+	if f.RestoreCopies != 0 || f.Writes[0] != 0 {
+		t.Fatal("unnecessary restore")
+	}
+}
+
+func TestTurnoffEventCounting(t *testing.T) {
+	f := New(2, 6, config.MapPriority, config.WriteMargin, 160)
+	f.SetOff(0, true)
+	f.SetOff(0, true) // idempotent: no second event
+	f.SetOff(0, false)
+	f.SetOff(0, true)
+	if f.TurnoffEvents[0] != 2 {
+		t.Fatalf("turnoff events %d, want 2", f.TurnoffEvents[0])
+	}
+}
+
+func TestAllOff(t *testing.T) {
+	f := New(2, 6, config.MapPriority, config.WriteMargin, 160)
+	f.SetOff(0, true)
+	if f.AllOff() {
+		t.Fatal("AllOff with one copy on")
+	}
+	f.SetOff(1, true)
+	if !f.AllOff() {
+		t.Fatal("AllOff false with all copies off")
+	}
+}
+
+func TestTurnoffThreshold(t *testing.T) {
+	margin := New(2, 6, config.MapPriority, config.WriteMargin, 160)
+	if got := margin.TurnoffThreshold(358, 0.5); got != 357.5 {
+		t.Fatalf("margin threshold %v", got)
+	}
+	cool := New(2, 6, config.MapPriority, config.WriteCopyOnCool, 160)
+	if got := cool.TurnoffThreshold(358, 0.5); got != 358 {
+		t.Fatalf("copy-on-cool threshold %v", got)
+	}
+	if margin.Policy() != config.WriteMargin {
+		t.Fatal("policy accessor")
+	}
+}
+
+func TestMappingAccessors(t *testing.T) {
+	f := New(2, 6, config.MapBalanced, config.WriteMargin, 160)
+	if f.Copies() != 2 || f.Mapping() != config.MapBalanced {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].PowerDensity != "conventional" || rows[1].PowerDensity != "fine-grain turnoff" {
+		t.Fatal("row labels wrong")
+	}
+	if !strings.Contains(rows[1].Priority, "both within and across") {
+		t.Fatalf("FGT+priority cell %q", rows[1].Priority)
+	}
+	if !strings.Contains(rows[0].Balanced, "across copies but not within") {
+		t.Fatalf("conventional+balanced cell %q", rows[0].Balanced)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"indivisible": func() { New(2, 5, config.MapPriority, config.WriteMargin, 160) },
+		"no copies":   func() { New(0, 6, config.MapPriority, config.WriteMargin, 160) },
+		"bad mapping": func() { New(2, 6, config.RFMapping(9), config.WriteMargin, 160) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFourCopies(t *testing.T) {
+	// The model generalizes beyond two copies.
+	f := New(4, 8, config.MapPriority, config.WriteMargin, 160)
+	if f.CopyOf(0) != 0 || f.CopyOf(7) != 3 {
+		t.Fatal("4-copy priority mapping wrong")
+	}
+	b := New(4, 8, config.MapBalanced, config.WriteMargin, 160)
+	if b.CopyOf(0) != 0 || b.CopyOf(1) != 1 || b.CopyOf(5) != 1 {
+		t.Fatal("4-copy balanced mapping wrong")
+	}
+}

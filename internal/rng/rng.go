@@ -1,0 +1,98 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used throughout the simulator. Determinism matters: every
+// experiment in the paper reproduction must produce identical instruction
+// streams for a given (benchmark, seed) pair so that configurations can be
+// compared against each other cycle-for-cycle.
+//
+// The generator is xorshift128+, which is more than adequate for workload
+// synthesis and far cheaper than math/rand's default source.
+package rng
+
+// Source is a deterministic xorshift128+ generator. The zero value is not
+// usable; construct with New.
+type Source struct {
+	s0, s1 uint64
+}
+
+// New returns a Source seeded from the given seed. Two distinct seeds give
+// uncorrelated streams for our purposes (the seed is diffused through
+// splitmix64 before use).
+func New(seed uint64) *Source {
+	s := &Source{}
+	s.Seed(seed)
+	return s
+}
+
+// Seed resets the generator state from seed using splitmix64 diffusion so
+// that small seeds (0, 1, 2, ...) still yield well-mixed states.
+func (s *Source) Seed(seed uint64) {
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	s.s0 = next()
+	s.s1 = next()
+	if s.s0 == 0 && s.s1 == 0 {
+		s.s0 = 1
+	}
+}
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	x, y := s.s0, s.s1
+	s.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	s.s1 = x
+	return x + y
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with the given
+// mean (mean >= 1). It is used for dependency distances and burst lengths.
+// The returned value is at least 1.
+func (s *Source) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	n := 1
+	for !s.Bool(p) {
+		n++
+		if n >= 1<<20 {
+			break
+		}
+	}
+	return n
+}
+
+// Range returns a uniform integer in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (s *Source) Range(lo, hi int) int {
+	if hi < lo {
+		panic("rng: Range with hi < lo")
+	}
+	return lo + s.Intn(hi-lo+1)
+}

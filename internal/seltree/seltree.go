@@ -1,0 +1,201 @@
+// Package seltree implements the instruction select logic of §2.2: one
+// hierarchical select tree per functional unit, serialized in static
+// priority order (tree k sees only requests not granted by trees 0..k-1,
+// Palacharla-style). Each tree is hard-wired to its unit, so the static
+// tree order imposes a static unit priority: if one instruction is ready,
+// unit 0 executes it; unit 5 runs only in full-width cycles. That policy
+// is the source of the ALU utilization asymmetry the paper exploits.
+//
+// Three paper mechanisms live here:
+//
+//   - Mode-aware root arbiter: for the activity-toggled issue queue, only
+//     the root node of each tree flips which physical half has priority
+//     (Figure 3); the subtrees are untouched.
+//   - Busy-signal turnoff: a unit marked busy (thermally turned off)
+//     causes its tree to grant nothing, and its requests pass unmasked to
+//     lower-priority trees — the paper's fine-grain turnoff hook.
+//   - Round-robin mode: the idealized dynamic-priority rotation the paper
+//     uses as an upper bound (and explicitly rejects as real hardware).
+package seltree
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Arity is the fan-in of the L1/L2 arbiter nodes (Figure 2 shows 4-input
+// nodes over a 16-entry queue).
+const Arity = 4
+
+// Grant records one selected instruction: the unit that granted it and the
+// physical queue entry it came from.
+type Grant struct {
+	Unit int
+	Phys int
+	ID   int32
+}
+
+// Pool is the bank of serialized select trees for one class of functional
+// units (the 6 integer ALUs, the 4 FP adders, or the FP multiplier).
+type Pool struct {
+	entries int
+	units   int
+
+	preferTop  bool // root-arbiter mode (set from the issue queue's mode)
+	roundRobin bool
+	rotation   int
+
+	busy []bool // per-unit busy (thermal turnoff or structural)
+
+	// Grants counts lifetime grants per unit — the utilization asymmetry
+	// statistic behind Table 5.
+	Grants []uint64
+}
+
+// NewPool builds a pool of trees over a queue of the given entry count for
+// the given number of units. The entry count must be a positive multiple
+// of two Arity groups (so the root can split halves cleanly).
+func NewPool(entries, units int) *Pool {
+	if entries <= 0 || entries%(2*Arity) != 0 {
+		panic(fmt.Sprintf("seltree: %d entries not divisible into two halves of %d-ary groups", entries, Arity))
+	}
+	if entries > 64 {
+		panic("seltree: more than 64 entries exceeds the request bit vector")
+	}
+	if units <= 0 {
+		panic("seltree: no units")
+	}
+	return &Pool{
+		entries: entries,
+		units:   units,
+		busy:    make([]bool, units),
+		Grants:  make([]uint64, units),
+	}
+}
+
+// Units returns the number of functional units (trees).
+func (p *Pool) Units() int { return p.units }
+
+// SetPreferTop sets the root-arbiter mode: false grants the bottom
+// physical half first (conventional head-at-bottom queue), true grants the
+// top half first (activity-toggled mid-queue head).
+func (p *Pool) SetPreferTop(top bool) { p.preferTop = top }
+
+// PreferTop reports the current root mode.
+func (p *Pool) PreferTop() bool { return p.preferTop }
+
+// SetRoundRobin enables or disables the idealized rotating priority.
+func (p *Pool) SetRoundRobin(on bool) { p.roundRobin = on }
+
+// Rotate advances the round-robin rotation by one unit; the simulator
+// calls it once per cycle when round-robin is enabled.
+func (p *Pool) Rotate() {
+	p.rotation++
+	if p.rotation >= p.units {
+		p.rotation = 0
+	}
+}
+
+// SetBusy marks unit u busy (true) or available (false).
+func (p *Pool) SetBusy(u int, busy bool) { p.busy[u] = busy }
+
+// Busy reports whether unit u is busy.
+func (p *Pool) Busy(u int) bool { return p.busy[u] }
+
+// AllBusy reports whether every unit is busy (the condition that forces
+// the manager to fall back to a global stall).
+func (p *Pool) AllBusy() bool {
+	for _, b := range p.busy {
+		if !b {
+			return false
+		}
+	}
+	return true
+}
+
+// Select runs the serialized trees over the request vector (req[phys] =
+// instruction ID, or -1 for no request) and appends up to one Grant per
+// available unit to grants, returning the extended slice. maxGrants caps
+// the number of grants (the machine's issue-width budget remaining for
+// this pool); pass a negative value for no cap.
+func (p *Pool) Select(req []int32, grants []Grant, maxGrants int) []Grant {
+	if len(req) != p.entries {
+		panic(fmt.Sprintf("seltree: request vector %d, want %d", len(req), p.entries))
+	}
+	// Build the request bit vector once; the arbiter trees reduce to
+	// find-first-set over masked halves, which is exactly what the gate
+	// trees compute (bottom-most-first at every level).
+	var reqMask uint64
+	for i, id := range req {
+		if id >= 0 {
+			reqMask |= 1 << uint(i)
+		}
+	}
+	issued := 0
+	for t := 0; t < p.units; t++ {
+		if maxGrants >= 0 && issued >= maxGrants {
+			break
+		}
+		unit := t
+		if p.roundRobin {
+			unit = (t + p.rotation) % p.units
+		}
+		if p.busy[unit] {
+			// A busy unit's tree raises no grant, and requests flow to
+			// the next tree unmasked.
+			continue
+		}
+		phys := p.treeSelect(reqMask)
+		if phys < 0 {
+			break // no requests left anywhere
+		}
+		reqMask &^= 1 << uint(phys)
+		p.Grants[unit]++
+		grants = append(grants, Grant{Unit: unit, Phys: phys, ID: req[phys]})
+		issued++
+	}
+	return grants
+}
+
+// treeSelect propagates requests up a tree of Arity-input arbiters and a
+// grant back down, honoring bottom-most-first priority within every node
+// and the root's half preference. It returns the physical index of the
+// granted entry, or -1 if nothing requests. Entries already granted by a
+// higher-priority tree have been masked out of reqMask (the serialization
+// of Figure 2's trees). Because priority is static bottom-most-first at
+// every level of the L1/L2 arbiters, the whole subtree reduces to
+// find-first-set over the half's bits, which is gate-equivalent.
+func (p *Pool) treeSelect(reqMask uint64) int {
+	half := uint(p.entries / 2)
+	lowMask := uint64(1)<<half - 1
+	highMask := lowMask << half
+	first, second := lowMask, highMask
+	if p.preferTop {
+		first, second = highMask, lowMask
+	}
+	if m := reqMask & first; m != 0 {
+		return bits.TrailingZeros64(m)
+	}
+	if m := reqMask & second; m != 0 {
+		return bits.TrailingZeros64(m)
+	}
+	return -1
+}
+
+// ActiveUnits returns the number of units not marked busy.
+func (p *Pool) ActiveUnits() int {
+	n := 0
+	for _, b := range p.busy {
+		if !b {
+			n++
+		}
+	}
+	return n
+}
+
+// ResetStats zeroes the per-unit grant counters.
+func (p *Pool) ResetStats() {
+	for i := range p.Grants {
+		p.Grants[i] = 0
+	}
+}

@@ -1,0 +1,356 @@
+package seltree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func reqVec(n int, ready ...int) []int32 {
+	req := make([]int32, n)
+	for i := range req {
+		req[i] = -1
+	}
+	for _, p := range ready {
+		req[p] = int32(p + 100)
+	}
+	return req
+}
+
+func TestSingleRequestGoesToUnitZero(t *testing.T) {
+	p := NewPool(32, 6)
+	g := p.Select(reqVec(32, 17), nil, -1)
+	if len(g) != 1 || g[0].Unit != 0 || g[0].Phys != 17 || g[0].ID != 117 {
+		t.Fatalf("grants %+v", g)
+	}
+}
+
+func TestStaticPriorityOrder(t *testing.T) {
+	// Requests at several positions: units are assigned in entry priority
+	// order (lowest physical first in conventional mode), unit 0 first.
+	p := NewPool(32, 6)
+	g := p.Select(reqVec(32, 30, 4, 12, 9), nil, -1)
+	if len(g) != 4 {
+		t.Fatalf("%d grants", len(g))
+	}
+	wantPhys := []int{4, 9, 12, 30}
+	for i, w := range wantPhys {
+		if g[i].Unit != i || g[i].Phys != w {
+			t.Fatalf("grant %d = %+v, want unit %d phys %d", i, g[i], i, w)
+		}
+	}
+}
+
+func TestNoDoubleGrant(t *testing.T) {
+	p := NewPool(32, 6)
+	g := p.Select(reqVec(32, 5), nil, -1)
+	if len(g) != 1 {
+		t.Fatalf("single request granted %d times", len(g))
+	}
+}
+
+func TestMoreRequestsThanUnits(t *testing.T) {
+	p := NewPool(32, 2)
+	g := p.Select(reqVec(32, 0, 1, 2, 3, 4), nil, -1)
+	if len(g) != 2 {
+		t.Fatalf("%d grants with 2 units", len(g))
+	}
+	if g[0].Phys != 0 || g[1].Phys != 1 {
+		t.Fatalf("grants %+v", g)
+	}
+}
+
+func TestBusyUnitSkipped(t *testing.T) {
+	p := NewPool(32, 6)
+	p.SetBusy(0, true)
+	p.SetBusy(1, true)
+	g := p.Select(reqVec(32, 3, 7), nil, -1)
+	if len(g) != 2 {
+		t.Fatalf("%d grants", len(g))
+	}
+	// The highest-priority request must fall through to unit 2.
+	if g[0].Unit != 2 || g[0].Phys != 3 {
+		t.Fatalf("first grant %+v, want unit 2 phys 3", g[0])
+	}
+	if g[1].Unit != 3 || g[1].Phys != 7 {
+		t.Fatalf("second grant %+v", g[1])
+	}
+	if p.Grants[0] != 0 || p.Grants[2] != 1 {
+		t.Fatal("grant counters wrong")
+	}
+}
+
+func TestAllBusyGrantsNothing(t *testing.T) {
+	p := NewPool(32, 3)
+	for u := 0; u < 3; u++ {
+		p.SetBusy(u, true)
+	}
+	if !p.AllBusy() {
+		t.Fatal("AllBusy false")
+	}
+	if g := p.Select(reqVec(32, 1, 2), nil, -1); len(g) != 0 {
+		t.Fatalf("busy pool granted %d", len(g))
+	}
+	p.SetBusy(1, false)
+	if p.AllBusy() || p.ActiveUnits() != 1 {
+		t.Fatal("busy bookkeeping wrong")
+	}
+}
+
+func TestPreferTopMode(t *testing.T) {
+	p := NewPool(32, 2)
+	p.SetPreferTop(true)
+	if !p.PreferTop() {
+		t.Fatal("mode not set")
+	}
+	// Requests in both halves: top half (16..31) must win, lowest first
+	// within the half.
+	g := p.Select(reqVec(32, 2, 20, 25), nil, -1)
+	if g[0].Phys != 20 || g[1].Phys != 25 {
+		t.Fatalf("preferTop grants %+v", g)
+	}
+	// Bottom half is still served when the top is empty.
+	g = p.Select(reqVec(32, 2), nil, -1)
+	if len(g) != 1 || g[0].Phys != 2 {
+		t.Fatalf("bottom fallback grants %+v", g)
+	}
+}
+
+func TestMaxGrantsCap(t *testing.T) {
+	p := NewPool(32, 6)
+	g := p.Select(reqVec(32, 0, 1, 2, 3, 4, 5), nil, 3)
+	if len(g) != 3 {
+		t.Fatalf("cap ignored: %d grants", len(g))
+	}
+}
+
+func TestRoundRobinSpreadsGrants(t *testing.T) {
+	p := NewPool(32, 6)
+	p.SetRoundRobin(true)
+	// One request per cycle for 600 cycles: static priority would give
+	// unit 0 all 600; round-robin spreads them evenly.
+	for c := 0; c < 600; c++ {
+		p.Select(reqVec(32, 5), nil, -1)
+		p.Rotate()
+	}
+	for u := 0; u < 6; u++ {
+		if p.Grants[u] != 100 {
+			t.Fatalf("unit %d got %d grants, want 100", u, p.Grants[u])
+		}
+	}
+}
+
+func TestStaticPriorityConcentratesGrants(t *testing.T) {
+	// The asymmetry behind §2.2: with 1-2 ready instructions per cycle,
+	// unit 0 is used every cycle and unit 5 never.
+	p := NewPool(32, 6)
+	r := rng.New(7)
+	for c := 0; c < 1000; c++ {
+		ready := []int{r.Intn(32)}
+		if r.Bool(0.5) {
+			q := r.Intn(32)
+			if q != ready[0] {
+				ready = append(ready, q)
+			}
+		}
+		p.Select(reqVec(32, ready...), nil, -1)
+	}
+	if p.Grants[0] != 1000 {
+		t.Fatalf("unit 0 got %d grants, want 1000", p.Grants[0])
+	}
+	if p.Grants[2] != 0 || p.Grants[5] != 0 {
+		t.Fatalf("low-priority units used: %v", p.Grants)
+	}
+}
+
+func TestRoundRobinWithBusyUnit(t *testing.T) {
+	p := NewPool(32, 4)
+	p.SetRoundRobin(true)
+	p.SetBusy(2, true)
+	counts := make([]uint64, 4)
+	for c := 0; c < 400; c++ {
+		g := p.Select(reqVec(32, 9), nil, -1)
+		if len(g) != 1 {
+			t.Fatalf("cycle %d: %d grants", c, len(g))
+		}
+		counts[g[0].Unit]++
+		p.Rotate()
+	}
+	if counts[2] != 0 {
+		t.Fatal("busy unit granted")
+	}
+	for _, u := range []int{0, 1, 3} {
+		if counts[u] == 0 {
+			t.Fatalf("unit %d starved under round-robin", u)
+		}
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	p := NewPool(32, 2)
+	p.Select(reqVec(32, 1), nil, -1)
+	p.ResetStats()
+	if p.Grants[0] != 0 {
+		t.Fatal("stats not reset")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"bad entries": func() { NewPool(30, 4) },
+		"no units":    func() { NewPool(32, 0) },
+		"bad reqvec":  func() { NewPool(32, 2).Select(make([]int32, 5), nil, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: the tree-structured selection equals a reference "lowest index
+// in preferred half first" scan, for any request pattern and mode.
+func TestQuickTreeEqualsReferenceScan(t *testing.T) {
+	f := func(mask uint32, preferTop bool) bool {
+		p := NewPool(32, 1)
+		p.SetPreferTop(preferTop)
+		req := make([]int32, 32)
+		for i := range req {
+			if mask&(1<<i) != 0 {
+				req[i] = int32(i)
+			} else {
+				req[i] = -1
+			}
+		}
+		g := p.Select(req, nil, -1)
+
+		// Reference.
+		want := -1
+		lo, hi := 0, 16
+		if preferTop {
+			lo, hi = 16, 32
+		}
+		for i := lo; i < hi; i++ {
+			if req[i] >= 0 {
+				want = i
+				break
+			}
+		}
+		if want == -1 {
+			lo ^= 16
+			for i := lo; i < lo+16; i++ {
+				if req[i] >= 0 {
+					want = i
+					break
+				}
+			}
+		}
+		if want == -1 {
+			return len(g) == 0
+		}
+		return len(g) == 1 && g[0].Phys == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: no entry is ever granted twice in one Select call, and grants
+// never exceed active units or requests.
+func TestQuickGrantInvariants(t *testing.T) {
+	f := func(mask uint32, busyMask uint8) bool {
+		p := NewPool(32, 6)
+		for u := 0; u < 6; u++ {
+			p.SetBusy(u, busyMask&(1<<u) != 0)
+		}
+		req := make([]int32, 32)
+		nreq := 0
+		for i := range req {
+			if mask&(1<<i) != 0 {
+				req[i] = int32(i)
+				nreq++
+			} else {
+				req[i] = -1
+			}
+		}
+		g := p.Select(req, nil, -1)
+		if len(g) > p.ActiveUnits() || len(g) > nreq {
+			return false
+		}
+		seenPhys := map[int]bool{}
+		seenUnit := map[int]bool{}
+		for _, gr := range g {
+			if seenPhys[gr.Phys] || seenUnit[gr.Unit] || p.busy[gr.Unit] || req[gr.Phys] < 0 {
+				return false
+			}
+			seenPhys[gr.Phys] = true
+			seenUnit[gr.Unit] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with round-robin rotation over many cycles, single-request
+// traffic lands on every unit equally regardless of entry position.
+func TestQuickRoundRobinFairness(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := NewPool(32, 6)
+		p.SetRoundRobin(true)
+		r := rng.New(seed)
+		for c := 0; c < 240; c++ {
+			p.Select(reqVec(32, r.Intn(32)), nil, -1)
+			p.Rotate()
+		}
+		for u := 0; u < 6; u++ {
+			if p.Grants[u] != 40 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: serialization is work-conserving — with k requests and u free
+// units, exactly min(k, u) grants are issued.
+func TestQuickWorkConserving(t *testing.T) {
+	f := func(mask uint32, busyMask uint8) bool {
+		p := NewPool(32, 6)
+		free := 0
+		for u := 0; u < 6; u++ {
+			b := busyMask&(1<<u) != 0
+			p.SetBusy(u, b)
+			if !b {
+				free++
+			}
+		}
+		req := make([]int32, 32)
+		k := 0
+		for i := range req {
+			if mask&(1<<i) != 0 {
+				req[i] = int32(i)
+				k++
+			} else {
+				req[i] = -1
+			}
+		}
+		want := k
+		if free < want {
+			want = free
+		}
+		return len(p.Select(req, nil, -1)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,301 @@
+package trace
+
+import (
+	"repro/internal/isa"
+	"repro/internal/rng"
+)
+
+// Generator produces a deterministic dynamic instruction stream for a
+// profile. The same (profile, seed) always yields the same stream, so
+// different machine configurations can be compared on identical work.
+type Generator struct {
+	prof Profile
+	r    *rng.Source
+
+	seq     uint64
+	pc      uint64
+	nextReg int
+
+	// lastDest[k] is the destination register of dynamic instruction
+	// seq-1-k (bounded history) for dependency-distance sourcing, split by
+	// register file.
+	intHist []int8
+	fpHist  []int8
+
+	// Memory cursors.
+	coldPtr uint64
+
+	// Branch sites: per-site PC, bias class, fixed target. Sites are
+	// visited mostly in cursor order (code loops over its branches),
+	// which gives the global branch history the correlation a real
+	// program's history has; a fraction of visits jump randomly.
+	sitePCs     []uint64
+	siteBias    []float64
+	siteTargets []uint64
+	siteCursor  int
+
+	// Phase state. Each phase draws its own intensity multiplier so that
+	// burst peaks vary run-to-run the way real program phases do; thermal
+	// crossings then become occasional and marginal rather than
+	// all-or-nothing.
+	phaseLeft  int
+	inBurst    bool
+	phaseScale float64
+}
+
+const (
+	histLen   = 64
+	hotBase   = 0x1000_0000
+	warmBase  = 0x2000_0000
+	codeBase  = 0x0040_0000
+	lineBytes = 64
+)
+
+// ColdBase is the start of the streaming ("cold") address region. Cache
+// warmup must not touch addresses at or above ColdBase: the stream is
+// compulsory-miss traffic by construction, and a warmed stream would
+// replay as hits.
+const ColdBase uint64 = 0x4000_0000
+
+// NewGenerator builds a generator for the profile, seeded from the
+// profile's own seed (deterministic across runs).
+func NewGenerator(p Profile) *Generator {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	g := &Generator{
+		prof:    p,
+		r:       rng.New(p.Seed),
+		intHist: make([]int8, histLen),
+		fpHist:  make([]int8, histLen),
+	}
+	for i := range g.intHist {
+		g.intHist[i] = int8(i % isa.NumIntRegs)
+		g.fpHist[i] = int8(i % isa.NumFPRegs)
+	}
+	g.sitePCs = make([]uint64, p.BranchSites)
+	g.siteBias = make([]float64, p.BranchSites)
+	g.siteTargets = make([]uint64, p.BranchSites)
+	// Branch sites sit on a regular stride through the code footprint:
+	// compiled code spaces its branches roughly evenly, and the stride
+	// keeps distinct sites from colliding in the predictor's PC-indexed
+	// tables, which random placement would force at a high rate.
+	stride := p.CodeFootprint / p.BranchSites
+	stride -= stride % 4
+	if stride < 8 {
+		stride = 8
+	}
+	// An odd instruction-slot stride keeps sites from aliasing in any
+	// power-of-two-indexed predictor table.
+	if (stride/4)%2 == 0 {
+		stride += 4
+	}
+	for i := range g.sitePCs {
+		g.sitePCs[i] = codeBase + uint64(i*stride)
+		g.siteTargets[i] = g.sitePCs[i] + uint64(4+4*g.r.Intn(64))
+		if g.r.Bool(p.BiasedFrac) {
+			// Strongly biased site: taken or not-taken dominant.
+			if g.r.Bool(p.TakenBias) {
+				g.siteBias[i] = 0.985
+			} else {
+				g.siteBias[i] = 0.015
+			}
+		} else {
+			g.siteBias[i] = 0.5 // unpredictable site
+		}
+	}
+	if p.PhaseLen > 0 {
+		g.phaseLeft = p.PhaseLen
+	}
+	g.phaseScale = 1
+	return g
+}
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.prof }
+
+// depDist returns the current mean dependency distance, honoring phases.
+// The per-phase intensity multiplier scales the burst distance, so
+// successive bursts have different depths.
+func (g *Generator) depDist() float64 {
+	if g.prof.PhaseLen > 0 && g.inBurst {
+		d := g.prof.BurstDepDist * g.phaseScale
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	return g.prof.DepDist
+}
+
+// srcReg picks a source register at a geometric dependency distance from
+// the history of the given register file.
+func (g *Generator) srcReg(hist []int8) int8 {
+	return g.srcRegAt(hist, g.depDist())
+}
+
+// addrReg picks a memory-operation base register at the profile's
+// address-dependency distance (typically much older than value operands).
+func (g *Generator) addrReg() int8 {
+	return g.srcRegAt(g.intHist, g.depDist()*g.prof.AddrDepFactor)
+}
+
+func (g *Generator) srcRegAt(hist []int8, mean float64) int8 {
+	d := g.r.Geometric(mean)
+	if d > histLen {
+		d = histLen
+	}
+	return hist[(int(g.seq)+histLen-d)%histLen]
+}
+
+// destReg allocates the next destination register round-robin, recording
+// it in the history ring.
+func (g *Generator) destReg(hist []int8, nregs int) int8 {
+	g.nextReg++
+	reg := int8(g.nextReg % nregs)
+	hist[int(g.seq)%histLen] = reg
+	return reg
+}
+
+// carryHistories keeps BOTH register-history rings current for the slot of
+// the instruction just generated: a ring slot not written by a destination
+// this instruction carries the previous slot's register forward. Without
+// this, dependency distances in the less-active register file dereference
+// stale ring entries and silently stretch (inflating ILP).
+func (g *Generator) carryHistories(wroteInt, wroteFP bool) {
+	i := int(g.seq) % histLen
+	prev := (i + histLen - 1) % histLen
+	if !wroteInt {
+		g.intHist[i] = g.intHist[prev]
+	}
+	if !wroteFP {
+		g.fpHist[i] = g.fpHist[prev]
+	}
+}
+
+// memAddr draws an effective address from the profile's working sets.
+func (g *Generator) memAddr() uint64 {
+	x := g.r.Float64()
+	switch {
+	case x < g.prof.ColdFrac:
+		// Streaming access: advance word by word through memory, so one
+		// cache line serves several accesses before the stream misses.
+		g.coldPtr += 8
+		return ColdBase + g.coldPtr
+	case x < g.prof.ColdFrac+g.prof.WarmFrac:
+		return warmBase + uint64(g.r.Intn(g.prof.WarmSetBytes/8))*8
+	default:
+		return hotBase + uint64(g.r.Intn(g.prof.HotSetBytes/8))*8
+	}
+}
+
+// Next produces the next dynamic instruction.
+func (g *Generator) Next() isa.Inst {
+	// Phase bookkeeping.
+	if g.prof.PhaseLen > 0 {
+		g.phaseLeft--
+		if g.phaseLeft <= 0 {
+			// Draw the next phase's length (±30%) and intensity
+			// (0.6x-1.4x of the nominal burst depth).
+			jitter := 0.7 + 0.6*g.r.Float64()
+			if g.inBurst {
+				g.inBurst = false
+				g.phaseLeft = int(float64(g.prof.PhaseLen) * (1 - g.prof.BurstFrac) * jitter)
+			} else {
+				g.inBurst = true
+				g.phaseLeft = int(float64(g.prof.PhaseLen) * g.prof.BurstFrac * jitter)
+				g.phaseScale = 0.75 + 0.5*g.r.Float64()
+			}
+			if g.phaseLeft <= 0 {
+				g.phaseLeft = 1
+			}
+		}
+	}
+
+	in := isa.Inst{Seq: g.seq, PC: codeBase + (g.pc % uint64(g.prof.CodeFootprint))}
+	g.pc += 4
+
+	p := g.prof
+	x := g.r.Float64()
+	wroteInt, wroteFP := false, false
+	switch {
+	case x < p.FracLoad:
+		in.Src1 = g.addrReg()
+		in.Src2 = isa.NoReg
+		in.Addr = g.memAddr()
+		if g.r.Bool(p.FracLoadFP) {
+			in.Op = isa.OpLoadFP
+			in.Dest = g.destReg(g.fpHist, isa.NumFPRegs)
+			wroteFP = true
+		} else {
+			in.Op = isa.OpLoad
+			in.Dest = g.destReg(g.intHist, isa.NumIntRegs)
+			wroteInt = true
+		}
+	case x < p.FracLoad+p.FracStore:
+		in.Op = isa.OpStore
+		in.Src1 = g.addrReg()
+		in.Src2 = g.srcReg(g.intHist)
+		in.Dest = isa.NoReg
+		in.Addr = g.memAddr()
+	case x < p.FracLoad+p.FracStore+p.FracBranch:
+		in.Op = isa.OpBr
+		var site int
+		if g.r.Bool(0.9) {
+			g.siteCursor++
+			if g.siteCursor >= len(g.sitePCs) {
+				g.siteCursor = 0
+			}
+			site = g.siteCursor
+		} else {
+			site = g.r.Intn(len(g.sitePCs))
+		}
+		in.PC = g.sitePCs[site]
+		in.Src1 = g.srcReg(g.intHist)
+		in.Src2 = isa.NoReg
+		in.Dest = isa.NoReg
+		in.Taken = g.r.Bool(g.siteBias[site])
+		in.Target = g.siteTargets[site]
+	case x < p.FracLoad+p.FracStore+p.FracBranch+p.FracFPAdd:
+		in.Op = isa.OpFAdd
+		in.Src1 = g.srcReg(g.fpHist)
+		in.Src2 = g.srcReg(g.fpHist)
+		in.Dest = g.destReg(g.fpHist, isa.NumFPRegs)
+		wroteFP = true
+	case x < p.FracLoad+p.FracStore+p.FracBranch+p.FracFPAdd+p.FracFPMul:
+		in.Op = isa.OpFMul
+		in.Src1 = g.srcReg(g.fpHist)
+		in.Src2 = g.srcReg(g.fpHist)
+		in.Dest = g.destReg(g.fpHist, isa.NumFPRegs)
+		wroteFP = true
+	case x < p.FracLoad+p.FracStore+p.FracBranch+p.FracFPAdd+p.FracFPMul+p.FracIntMul:
+		in.Op = isa.OpMul
+		in.Src1 = g.srcReg(g.intHist)
+		in.Src2 = g.srcReg(g.intHist)
+		in.Dest = g.destReg(g.intHist, isa.NumIntRegs)
+		wroteInt = true
+	default:
+		// Simple integer ALU op; vary the opcode for dataflow diversity.
+		ops := [4]isa.Op{isa.OpAdd, isa.OpSub, isa.OpXor, isa.OpAnd}
+		in.Op = ops[g.r.Intn(4)]
+		in.Src1 = g.srcReg(g.intHist)
+		in.Src2 = g.srcReg(g.intHist)
+		in.Dest = g.destReg(g.intHist, isa.NumIntRegs)
+		wroteInt = true
+	}
+
+	g.carryHistories(wroteInt, wroteFP)
+	g.seq++
+	return in
+}
+
+// Generate appends n instructions to dst and returns it.
+func (g *Generator) Generate(n int, dst []isa.Inst) []isa.Inst {
+	for i := 0; i < n; i++ {
+		dst = append(dst, g.Next())
+	}
+	return dst
+}
+
+// InBurst reports whether the generator is currently in a burst phase.
+func (g *Generator) InBurst() bool { return g.inBurst }

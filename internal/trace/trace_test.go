@@ -1,0 +1,380 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestAll22ProfilesPresent(t *testing.T) {
+	want := []string{
+		"applu", "apsi", "art", "bzip", "crafty", "eon", "facerec",
+		"fma3d", "gcc", "gzip", "lucas", "mcf", "mesa", "mgrid",
+		"parser", "perlbmk", "sixtrack", "swim", "twolf", "vortex",
+		"vpr", "wupwise",
+	}
+	ps := Profiles()
+	if len(ps) != len(want) {
+		t.Fatalf("%d profiles, want %d", len(ps), len(want))
+	}
+	for i, name := range want {
+		if ps[i].Name != name {
+			t.Errorf("profile %d = %s, want %s (alphabetical order)", i, ps[i].Name, name)
+		}
+	}
+}
+
+func TestAllProfilesValidate(t *testing.T) {
+	for _, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("eon")
+	if err != nil || p.Name != "eon" {
+		t.Fatalf("ByName(eon) = %v, %v", p.Name, err)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p, _ := ByName("gcc")
+	a := NewGenerator(p)
+	b := NewGenerator(p)
+	for i := 0; i < 5000; i++ {
+		ia, ib := a.Next(), b.Next()
+		if ia != ib {
+			t.Fatalf("streams diverge at %d: %v vs %v", i, ia, ib)
+		}
+	}
+}
+
+func TestSeqNumbersMonotone(t *testing.T) {
+	p, _ := ByName("art")
+	g := NewGenerator(p)
+	for i := uint64(0); i < 1000; i++ {
+		if in := g.Next(); in.Seq != i {
+			t.Fatalf("seq %d at position %d", in.Seq, i)
+		}
+	}
+}
+
+func TestMixMatchesProfile(t *testing.T) {
+	for _, name := range []string{"eon", "swim", "mcf"} {
+		p, _ := ByName(name)
+		g := NewGenerator(p)
+		const n = 200000
+		counts := map[isa.Class]int{}
+		for i := 0; i < n; i++ {
+			counts[g.Next().Op.Class()]++
+		}
+		checks := []struct {
+			label string
+			want  float64
+			got   int
+		}{
+			{"loads+stores", p.FracLoad + p.FracStore, counts[isa.ClassMem]},
+			{"branches", p.FracBranch, counts[isa.ClassBranch]},
+			{"fp adds", p.FracFPAdd, counts[isa.ClassFPAdd]},
+			{"fp muls", p.FracFPMul, counts[isa.ClassFPMul]},
+		}
+		for _, c := range checks {
+			got := float64(c.got) / n
+			if math.Abs(got-c.want) > 0.012 {
+				t.Errorf("%s: %s frequency %.4f, want %.4f", name, c.label, got, c.want)
+			}
+		}
+	}
+}
+
+func TestRegisterFieldsWellFormed(t *testing.T) {
+	p, _ := ByName("perlbmk")
+	g := NewGenerator(p)
+	for i := 0; i < 20000; i++ {
+		in := g.Next()
+		check := func(r int8, fp bool) {
+			if r == isa.NoReg {
+				return
+			}
+			lim := int8(isa.NumIntRegs)
+			if fp {
+				lim = isa.NumFPRegs
+			}
+			if r < 0 || r >= lim {
+				t.Fatalf("instruction %v has register %d out of range", in, r)
+			}
+		}
+		fp := in.Op.IsFP()
+		check(in.Src1, fp)
+		check(in.Src2, fp)
+		check(in.Dest, fp)
+		if in.Op.HasDest() && in.Dest == isa.NoReg {
+			t.Fatalf("%v should have a destination", in)
+		}
+		if !in.Op.HasDest() && in.Dest != isa.NoReg {
+			t.Fatalf("%v should not have a destination", in)
+		}
+		if in.Op.IsMem() && in.Addr == 0 {
+			t.Fatalf("%v memory op without address", in)
+		}
+	}
+}
+
+func TestDependencyDistanceControlsILP(t *testing.T) {
+	// Average distance between an instruction and its sources must track
+	// the profile's DepDist.
+	measure := func(dep float64) float64 {
+		p, _ := ByName("eon")
+		p.DepDist = dep
+		g := NewGenerator(p)
+		lastWriter := map[int8]uint64{}
+		var sum float64
+		var cnt int
+		for i := 0; i < 50000; i++ {
+			in := g.Next()
+			if in.Op.IsFP() || in.Op.IsBranch() || in.Op.IsMem() {
+				// Track int ALU chains only for a clean signal.
+				if in.Dest != isa.NoReg && !in.Op.IsFP() {
+					lastWriter[in.Dest] = in.Seq
+				}
+				continue
+			}
+			if w, ok := lastWriter[in.Src1]; ok {
+				sum += float64(in.Seq - w)
+				cnt++
+			}
+			lastWriter[in.Dest] = in.Seq
+		}
+		return sum / float64(cnt)
+	}
+	short := measure(2)
+	long := measure(16)
+	if short >= long {
+		t.Fatalf("dep distance not controlling: short=%.2f long=%.2f", short, long)
+	}
+	if long < 2*short {
+		t.Fatalf("dep distance signal too weak: short=%.2f long=%.2f", short, long)
+	}
+}
+
+func TestMemoryWorkingSets(t *testing.T) {
+	// A hot-set-only profile touches few distinct lines; a cold-streaming
+	// profile touches many.
+	hot, _ := ByName("eon")
+	cold, _ := ByName("swim")
+	lines := func(p Profile) int {
+		g := NewGenerator(p)
+		seen := map[uint64]bool{}
+		for i := 0; i < 50000; i++ {
+			in := g.Next()
+			if in.Op.IsMem() {
+				seen[in.Addr/64] = true
+			}
+		}
+		return len(seen)
+	}
+	h, c := lines(hot), lines(cold)
+	if h*3 > c {
+		t.Fatalf("hot profile touched %d lines vs cold %d: want clear separation", h, c)
+	}
+}
+
+func TestBranchBiasDistribution(t *testing.T) {
+	p, _ := ByName("gzip")
+	g := NewGenerator(p)
+	taken, total := 0, 0
+	for i := 0; i < 100000; i++ {
+		in := g.Next()
+		if in.Op.IsBranch() {
+			total++
+			if in.Taken {
+				taken++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no branches generated")
+	}
+	frac := float64(taken) / float64(total)
+	if frac < 0.2 || frac > 0.9 {
+		t.Fatalf("taken fraction %.3f implausible", frac)
+	}
+}
+
+func TestFacerecBurstPhases(t *testing.T) {
+	p, _ := ByName("facerec")
+	if p.PhaseLen == 0 {
+		t.Fatal("facerec must have phases")
+	}
+	g := NewGenerator(p)
+	transitions := 0
+	prev := g.InBurst()
+	for i := 0; i < 2_000_000; i++ {
+		g.Next()
+		if b := g.InBurst(); b != prev {
+			transitions++
+			prev = b
+		}
+	}
+	if transitions < 4 {
+		t.Fatalf("only %d phase transitions in 2M instructions", transitions)
+	}
+}
+
+func TestGenerateBatch(t *testing.T) {
+	p, _ := ByName("vpr")
+	g := NewGenerator(p)
+	insts := g.Generate(100, nil)
+	if len(insts) != 100 {
+		t.Fatalf("generated %d", len(insts))
+	}
+	insts = g.Generate(50, insts)
+	if len(insts) != 150 || insts[149].Seq != 149 {
+		t.Fatal("batch append broken")
+	}
+}
+
+func TestStreamIsExecutable(t *testing.T) {
+	// The reference executor must be able to run any stream without
+	// panicking, and produce state changes.
+	for _, name := range []string{"eon", "art", "facerec"} {
+		p, _ := ByName(name)
+		g := NewGenerator(p)
+		s := isa.NewState()
+		for i := 0; i < 20000; i++ {
+			s.Exec(g.Next())
+		}
+		if len(s.Mem) == 0 {
+			t.Errorf("%s: no stores executed", name)
+		}
+	}
+}
+
+func TestProfileValidateCatchesBadInputs(t *testing.T) {
+	good, _ := ByName("eon")
+	bads := []func(*Profile){
+		func(p *Profile) { p.FracLoad = 0.9; p.FracStore = 0.3 },
+		func(p *Profile) { p.DepDist = 0 },
+		func(p *Profile) { p.WarmFrac = 0.7; p.ColdFrac = 0.7 },
+		func(p *Profile) { p.HotSetBytes = 0 },
+		func(p *Profile) { p.BranchSites = 0 },
+		func(p *Profile) { p.PhaseLen = 100; p.BurstDepDist = 0 },
+	}
+	for i, mod := range bads {
+		p := good
+		mod(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d validated", i)
+		}
+	}
+}
+
+func TestIsFPClassification(t *testing.T) {
+	eon, _ := ByName("eon")
+	swim, _ := ByName("swim")
+	if eon.IsFP() {
+		t.Error("eon classified FP")
+	}
+	if !swim.IsFP() {
+		t.Error("swim classified int")
+	}
+}
+
+func TestFPLoadFraction(t *testing.T) {
+	p, _ := ByName("swim")
+	g := NewGenerator(p)
+	loads, fpLoads := 0, 0
+	for i := 0; i < 200_000; i++ {
+		switch g.Next().Op {
+		case isa.OpLoad:
+			loads++
+		case isa.OpLoadFP:
+			fpLoads++
+		}
+	}
+	frac := float64(fpLoads) / float64(loads+fpLoads)
+	if math.Abs(frac-p.FracLoadFP) > 0.03 {
+		t.Fatalf("FP-load fraction %.3f, want %.3f", frac, p.FracLoadFP)
+	}
+	// Int profiles have no FP loads.
+	pi, _ := ByName("gzip")
+	gi := NewGenerator(pi)
+	for i := 0; i < 50_000; i++ {
+		if gi.Next().Op == isa.OpLoadFP {
+			t.Fatal("integer profile produced an FP load")
+		}
+	}
+}
+
+func TestAddressDependenciesOlderThanValueDependencies(t *testing.T) {
+	// Memory base registers must reference older producers than ALU value
+	// operands (AddrDepFactor), which is what gives the pipeline its
+	// memory-level parallelism.
+	p, _ := ByName("gzip")
+	g := NewGenerator(p)
+	lastWriter := map[int8]uint64{}
+	var memSum, aluSum float64
+	var memN, aluN int
+	for i := 0; i < 300_000; i++ {
+		in := g.Next()
+		switch {
+		case in.Op == isa.OpLoad || in.Op == isa.OpStore:
+			if w, ok := lastWriter[in.Src1]; ok {
+				memSum += float64(in.Seq - w)
+				memN++
+			}
+		case in.Op.Class() == isa.ClassIntALU && in.Op != isa.OpBr:
+			if w, ok := lastWriter[in.Src1]; ok {
+				aluSum += float64(in.Seq - w)
+				aluN++
+			}
+		}
+		if in.Dest != isa.NoReg && !in.Op.DestIsFP() {
+			lastWriter[in.Dest] = in.Seq
+		}
+	}
+	if memN == 0 || aluN == 0 {
+		t.Fatal("no samples")
+	}
+	memDist, aluDist := memSum/float64(memN), aluSum/float64(aluN)
+	if memDist < 1.5*aluDist {
+		t.Fatalf("address deps (%.1f) not clearly older than value deps (%.1f)", memDist, aluDist)
+	}
+}
+
+func TestBurstIntensityVaries(t *testing.T) {
+	// Successive bursts must not all have the same depth (the randomized
+	// per-phase intensity that makes thermal crossings marginal).
+	p, _ := ByName("eon")
+	g := NewGenerator(p)
+	depths := map[string]bool{}
+	prevBurst := false
+	var lens []int
+	cur := 0
+	for i := 0; i < 4_000_000 && len(lens) < 8; i++ {
+		g.Next()
+		if g.InBurst() {
+			cur++
+		} else if prevBurst {
+			lens = append(lens, cur)
+			cur = 0
+		}
+		prevBurst = g.InBurst()
+	}
+	if len(lens) < 4 {
+		t.Fatalf("only %d bursts observed", len(lens))
+	}
+	for _, l := range lens {
+		depths[fmt.Sprintf("%d", l/10_000)] = true
+	}
+	if len(depths) < 2 {
+		t.Fatalf("all bursts identical length: %v", lens)
+	}
+}
