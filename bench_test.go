@@ -186,6 +186,34 @@ func BenchmarkFig8RegfileMapping(b *testing.B) {
 	}
 }
 
+// BenchmarkMatrixParallelism measures the experiment matrix runner's
+// scaling: one Fig6 subset run per iteration at worker counts 1, 2, 4
+// and 8, reporting throughput in cells/sec. On a multi-core machine
+// cells/sec should rise near-linearly until the worker count reaches
+// the core count; on a single core every setting collapses to the same
+// throughput. Results are byte-identical at every parallelism (see
+// internal/experiments's determinism tests), so this benchmark measures
+// pure scheduling, not workload drift.
+func BenchmarkMatrixParallelism(b *testing.B) {
+	benches := []string{"eon", "gzip", "crafty", "art"}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", par), func(b *testing.B) {
+			cells := 0
+			for i := 0; i < b.N; i++ {
+				spec := experiments.Fig6(200_000, benches...)
+				spec.Warmup = 100_000
+				spec.Parallelism = par
+				m, err := experiments.Run(spec, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cells += len(m.Cells)
+			}
+			b.ReportMetric(float64(cells)/b.Elapsed().Seconds(), "cells/sec")
+		})
+	}
+}
+
 // --- Ablations (DESIGN.md) --------------------------------------------------
 
 // BenchmarkAblationToggleThreshold sweeps the activity-toggling trigger

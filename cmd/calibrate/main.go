@@ -6,9 +6,13 @@
 // hottest copy just above the 358 K threshold for the high-utilization
 // benchmarks and safely below it for the memory-bound ones.
 //
+// Per-benchmark probes are independent (each builds its own pipeline and
+// thermal network) and are fanned out over -parallel workers; rows are
+// printed in benchmark order regardless of completion order.
+//
 // Usage:
 //
-//	calibrate [-plan iq|alu|rf] [-cycles N] [-warmup N] [-blocks a,b,c]
+//	calibrate [-plan iq|alu|rf] [-cycles N] [-warmup N] [-blocks a,b,c] [-parallel N]
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"repro/internal/floorplan"
 	"repro/internal/pipeline"
 	"repro/internal/power"
+	"repro/internal/runner"
 	"repro/internal/thermal"
 	"repro/internal/trace"
 )
@@ -30,6 +35,7 @@ func main() {
 	cycles := flag.Int("cycles", 1_000_000, "measurement window in cycles")
 	warmup := flag.Int("warmup", 3_000_000, "architectural warmup in instructions")
 	blockList := flag.String("blocks", "", "comma-separated blocks to report (default: a per-plan set)")
+	parallel := flag.Int("parallel", 0, "probe workers (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	cfg := config.Default()
@@ -66,28 +72,44 @@ func main() {
 	}
 	fmt.Println()
 
-	for _, prof := range trace.Profiles() {
-		plan := floorplan.Build(cfg.Plan)
-		meter := power.NewMeter(plan, cfg)
-		p := pipeline.New(cfg, plan, meter, trace.NewGenerator(prof))
-		th := thermal.New(plan, cfg)
+	// One steady-state probe per benchmark, each with its own pipeline
+	// and thermal network; rows land in pre-indexed slots so the printed
+	// table keeps benchmark order at any parallelism.
+	profiles := trace.Profiles()
+	rows := make([]string, len(profiles))
+	err := runner.Run(*parallel, len(profiles), func(i int) error {
+		prof := profiles[i]
+		pcfg := cfg.Clone() // no shared pointers between workers
+		plan := floorplan.Build(pcfg.Plan)
+		meter := power.NewMeter(plan, pcfg)
+		p := pipeline.New(pcfg, plan, meter, trace.NewGenerator(prof))
+		th := thermal.New(plan, pcfg)
 		p.Warmup(*warmup)
-		for i := 0; i < *cycles; i++ {
+		for c := 0; c < *cycles; c++ {
 			p.Cycle()
 		}
 		p.DrainEnergies()
 		pow := meter.Drain(*cycles, 0, nil)
 		ss := th.SteadyState(pow)
-		fmt.Printf("%-10s %5.2f %6.1f", prof.Name, p.IPC(), meter.AvgChipPower())
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%-10s %5.2f %6.1f", prof.Name, p.IPC(), meter.AvgChipPower())
 		for _, b := range blocks {
 			mark := " "
 			t := ss[plan.Index(b)]
-			if t >= cfg.MaxTempK {
+			if t >= pcfg.MaxTempK {
 				mark = "*"
 			}
-			fmt.Printf(" %7.1f%s", t, mark)
+			fmt.Fprintf(&sb, " %7.1f%s", t, mark)
 		}
-		fmt.Println()
+		rows[i] = sb.String()
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	for _, row := range rows {
+		fmt.Println(row)
 	}
 	fmt.Println("\n(*) at or above the critical threshold under sustained average power")
 }

@@ -2,7 +2,12 @@
 //
 // Usage:
 //
-//	experiments [-cycles N] [-benchmarks a,b,c] [table1|table2|table3|table4|table5|table6|fig6|fig7|fig8|all]...
+//	experiments [-cycles N] [-benchmarks a,b,c] [-parallel N] [table1|table2|table3|table4|table5|table6|fig6|fig7|fig8|all]...
+//
+// Each matrix's benchmark × technique cells are independent runs; they
+// are fanned out over -parallel workers (0 = one per CPU, 1 = serial).
+// The assembled tables and figures are byte-identical at any setting —
+// only the interleaving of progress lines changes.
 //
 // Two extension experiments beyond the paper's evaluation run when named
 // explicitly: "temporal" (stop-go vs DVFS fallbacks) and "combined" (all
@@ -32,6 +37,7 @@ func main() {
 		"comma-separated benchmark subset for fig6/fig7/fig8 (default: all 22)")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress")
 	bars := flag.Bool("bars", false, "also render figures as ASCII bar charts")
+	parallel := flag.Int("parallel", 0, "matrix workers (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -62,6 +68,7 @@ func main() {
 	}
 
 	runAndPrint := func(spec experiments.Spec, render func(*experiments.Matrix) string) {
+		spec.Parallelism = *parallel
 		m, err := experiments.Run(spec, progress)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)

@@ -181,3 +181,22 @@ func TestTechniquesStringIncludesNonDefaultTemporal(t *testing.T) {
 		t.Fatal("default temporal should be elided")
 	}
 }
+
+// TestDefaultReturnsIndependentValues locks in the contract the parallel
+// matrix runner depends on: every Default call yields a fresh Config, so
+// one cell's technique/plan mutations can never leak into another's.
+func TestDefaultReturnsIndependentValues(t *testing.T) {
+	a, b := Default(), Default()
+	if a == b {
+		t.Fatal("Default returned the same pointer twice")
+	}
+	a.Plan = PlanRFConstrained
+	a.Techniques.IQ = IQToggle
+	a.IQEntries = 64
+	if b.Plan != PlanIQConstrained || b.Techniques.IQ != IQBase || b.IQEntries != 32 {
+		t.Fatal("mutating one Default leaked into another")
+	}
+	if c := Default(); c.Plan != PlanIQConstrained || c.IQEntries != 32 {
+		t.Fatal("mutating a Default leaked into a later call")
+	}
+}

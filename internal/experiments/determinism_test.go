@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// detSpec is the determinism workload: a 3-benchmark Fig6 subset at
+// short cycles, long enough for thermal events (toggles, stalls) to
+// fire on gzip so the compared fields are not trivially zero.
+func detSpec(parallelism int) Spec {
+	s := Fig6(testCycles, "eon", "gzip", "art")
+	s.Warmup = 50_000
+	s.Parallelism = parallelism
+	return s
+}
+
+// TestParallelDeterminism is the determinism contract of the parallel
+// matrix runner: a Parallelism=8 run must be bit-identical to the
+// legacy serial run in every Result field the reports consume, and two
+// parallel runs must be bit-identical to each other.
+func TestParallelDeterminism(t *testing.T) {
+	var progress bytes.Buffer
+	serial, err := Run(detSpec(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(detSpec(8), &progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par2, err := Run(detSpec(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(par.Cells) != len(serial.Cells) {
+		t.Fatalf("parallel run has %d cells, serial %d", len(par.Cells), len(serial.Cells))
+	}
+	events := 0
+	for i, sc := range serial.Cells {
+		pc := par.Cells[i]
+		if sc.Benchmark != pc.Benchmark || sc.Variant != pc.Variant {
+			t.Fatalf("cell %d: parallel ordering (%s,%s) != serial (%s,%s)",
+				i, pc.Benchmark, pc.Variant, sc.Benchmark, sc.Variant)
+		}
+		a, b := sc.R, pc.R
+		id := fmt.Sprintf("%s/%s", sc.Benchmark, sc.Variant)
+		// Every scalar field the reports consume, compared bit-for-bit.
+		if a.IPC != b.IPC {
+			t.Errorf("%s: IPC %v != %v", id, b.IPC, a.IPC)
+		}
+		if a.Committed != b.Committed || a.Cycles != b.Cycles ||
+			a.ActiveCycles != b.ActiveCycles || a.StallCycles != b.StallCycles {
+			t.Errorf("%s: cycle accounting diverged", id)
+		}
+		if a.Stalls != b.Stalls || a.IntToggles != b.IntToggles || a.FPToggles != b.FPToggles {
+			t.Errorf("%s: stall/toggle counts diverged", id)
+		}
+		if a.ALUTurnoffs != b.ALUTurnoffs || a.RFCopyTurnoffs != b.RFCopyTurnoffs ||
+			!reflect.DeepEqual(a.RFTurnoffsPerCopy, b.RFTurnoffsPerCopy) {
+			t.Errorf("%s: turnoff counts diverged", id)
+		}
+		if a.DVFSEngagements != b.DVFSEngagements || a.SlowCycles != b.SlowCycles ||
+			a.AvgChipPowerW != b.AvgChipPowerW {
+			t.Errorf("%s: DVFS/power accounting diverged", id)
+		}
+		for _, blk := range a.Blocks() {
+			if a.AvgTemp(blk) != b.AvgTemp(blk) {
+				t.Errorf("%s: %s avg temp %v != %v", id, blk, b.AvgTemp(blk), a.AvgTemp(blk))
+			}
+			if a.PeakTemp(blk) != b.PeakTemp(blk) {
+				t.Errorf("%s: %s peak temp %v != %v", id, blk, b.PeakTemp(blk), a.PeakTemp(blk))
+			}
+		}
+		events += int(a.Stalls + a.IntToggles + a.FPToggles)
+	}
+	if events == 0 {
+		t.Error("no thermal events fired anywhere: determinism comparison is vacuous")
+	}
+
+	// Two parallel runs must match each other exactly (full deep compare,
+	// unexported temperature vectors included).
+	if !reflect.DeepEqual(par.Cells, par2.Cells) {
+		t.Error("two Parallelism=8 runs are not bit-identical")
+	}
+
+	// Report rendering sees identical bytes.
+	if s, p := serial.FigureReport(), par.FigureReport(); s != p {
+		t.Errorf("FigureReport differs between serial and parallel:\n--- serial ---\n%s--- parallel ---\n%s", s, p)
+	}
+
+	// Progress lines are serialized: one well-formed line per cell, each
+	// [done/total] counter used exactly once.
+	lines := strings.Split(strings.TrimRight(progress.String(), "\n"), "\n")
+	if len(lines) != len(par.Cells) {
+		t.Fatalf("%d progress lines for %d cells", len(lines), len(par.Cells))
+	}
+	seen := map[int]bool{}
+	for _, l := range lines {
+		var done, total int
+		if _, err := fmt.Sscanf(l, "[%d/%d]", &done, &total); err != nil {
+			t.Fatalf("malformed progress line %q: %v", l, err)
+		}
+		if total != len(par.Cells) || seen[done] {
+			t.Fatalf("bad or repeated counter in %q", l)
+		}
+		seen[done] = true
+		if !strings.Contains(l, "fig6") {
+			t.Fatalf("progress line %q lost its payload", l)
+		}
+	}
+}
+
+// TestParallelErrorAborts checks the early-cancel path end to end: a
+// matrix containing an unknown benchmark must fail at any parallelism
+// and name the offending cell.
+func TestParallelErrorAborts(t *testing.T) {
+	for _, p := range []int{1, 8} {
+		spec := fast(Fig6(testCycles, "eon", "doom3", "gzip"))
+		spec.Parallelism = p
+		m, err := Run(spec, nil)
+		if err == nil {
+			t.Fatalf("parallelism %d: unknown benchmark accepted", p)
+		}
+		if m != nil {
+			t.Fatalf("parallelism %d: partial matrix returned alongside error", p)
+		}
+		if !strings.Contains(err.Error(), "doom3") {
+			t.Errorf("parallelism %d: error %q does not name the bad cell", p, err)
+		}
+	}
+}

@@ -17,8 +17,10 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/config"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -45,6 +47,13 @@ type Spec struct {
 	// Warmup overrides the simulator's architectural warmup when
 	// positive (tests use small values).
 	Warmup int
+	// Parallelism is the worker count for the matrix run: 0 = auto (one
+	// worker per CPU, capped at the cell count), 1 = the legacy serial
+	// path, n > 1 = at most n workers. Every cell builds its own
+	// simulator and owns its result slot, so the assembled Matrix — cell
+	// ordering included — is byte-identical at every setting; only
+	// wall-clock time and progress-line interleaving change.
+	Parallelism int
 }
 
 // Cell is one completed run.
@@ -59,16 +68,38 @@ type Cell struct {
 type Matrix struct {
 	Spec  Spec
 	Cells []Cell
+
+	// Lookup index for Get, built lazily from Cells (reports call Get
+	// once per table cell, so a linear scan per lookup is O(cells²)
+	// across a report). Rebuilt automatically if Cells has grown since
+	// the last lookup.
+	mu     sync.Mutex
+	idx    map[cellKey]int
+	idxLen int
 }
 
-// Get returns the result for (benchmark, variant), or nil.
+type cellKey struct{ bench, variant string }
+
+// Get returns the result for (benchmark, variant), or nil. Lookups go
+// through an index map built once, not a per-call scan of Cells.
 func (m *Matrix) Get(bench, variant string) *sim.Result {
-	for _, c := range m.Cells {
-		if c.Benchmark == bench && c.Variant == variant {
-			return c.R
+	m.mu.Lock()
+	if m.idx == nil || m.idxLen != len(m.Cells) {
+		m.idx = make(map[cellKey]int, len(m.Cells))
+		for i, c := range m.Cells {
+			k := cellKey{c.Benchmark, c.Variant}
+			if _, dup := m.idx[k]; !dup { // first cell wins, as the scan did
+				m.idx[k] = i
+			}
 		}
+		m.idxLen = len(m.Cells)
 	}
-	return nil
+	i, ok := m.idx[cellKey{bench, variant}]
+	m.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return m.Cells[i].R
 }
 
 // Benchmarks returns the benchmark list the matrix ran (sorted).
@@ -95,8 +126,13 @@ func AllBenchmarks() []string {
 	return out
 }
 
-// Run executes the experiment matrix, reporting progress to w (may be
-// nil).
+// Run executes the experiment matrix on spec.Parallelism workers,
+// reporting progress to w (may be nil). Every cell constructs its own
+// simulator and writes into a slot pre-assigned from the serial
+// iteration order, so Matrix.Cells is byte-identical to a serial run at
+// any parallelism; progress lines are serialized but arrive in
+// completion order. The first cell-construction error cancels the
+// outstanding jobs and is returned after in-flight cells drain.
 func Run(spec Spec, w io.Writer) (*Matrix, error) {
 	if spec.Cycles <= 0 {
 		spec.Cycles = DefaultCycles
@@ -105,27 +141,31 @@ func Run(spec Spec, w io.Writer) (*Matrix, error) {
 	if len(benches) == 0 {
 		benches = AllBenchmarks()
 	}
+	nv := len(spec.Variants)
+	total := len(benches) * nv
 	m := &Matrix{Spec: spec}
-	total := len(benches) * len(spec.Variants)
-	done := 0
-	for _, b := range benches {
-		for _, v := range spec.Variants {
-			cfg := config.Default()
-			cfg.Plan = spec.Plan
-			cfg.Techniques = v.Tech
-			s, err := sim.NewByName(cfg, b)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s/%s: %w", b, v.Name, err)
-			}
-			s.WarmupInstructions = spec.Warmup
-			r := s.RunCycles(spec.Cycles)
-			m.Cells = append(m.Cells, Cell{Benchmark: b, Variant: v.Name, R: r})
-			done++
-			if w != nil {
-				fmt.Fprintf(w, "[%3d/%3d] %s %-9s %-24s IPC=%.3f stalls=%d\n",
-					done, total, spec.ID, b, v.Name, r.IPC, r.Stalls)
-			}
+	if total == 0 {
+		return m, nil
+	}
+	m.Cells = make([]Cell, total)
+	prog := runner.NewProgress(w, total)
+	err := runner.Run(spec.Parallelism, total, func(i int) error {
+		b, v := benches[i/nv], spec.Variants[i%nv]
+		cfg := config.Default()
+		cfg.Plan = spec.Plan
+		cfg.Techniques = v.Tech
+		s, err := sim.NewByName(cfg, b)
+		if err != nil {
+			return fmt.Errorf("experiments: %s/%s: %w", b, v.Name, err)
 		}
+		s.WarmupInstructions = spec.Warmup
+		r := s.RunCycles(spec.Cycles)
+		m.Cells[i] = Cell{Benchmark: b, Variant: v.Name, R: r}
+		prog.Step("%s %-9s %-24s IPC=%.3f stalls=%d", spec.ID, b, v.Name, r.IPC, r.Stalls)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return m, nil
 }

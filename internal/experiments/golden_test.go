@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestGoldenFig6Short pins the paper-facing report bytes for a fixed
+// short Fig6 run. Any PR that shifts IPC, stall counts, speedups or
+// issue-queue-half temperatures — deliberately or not — fails here and
+// must regenerate the golden file with:
+//
+//	go test ./internal/experiments -run TestGoldenFig6Short -update
+//
+// The run uses the default (auto) parallelism: the determinism tests
+// guarantee the bytes are identical at every worker count, so this also
+// exercises the parallel path on multi-core CI.
+func TestGoldenFig6Short(t *testing.T) {
+	spec := fast(Fig6(testCycles, "art", "eon", "gzip"))
+	m, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both report styles over the same matrix: the figure table (IPC,
+	// stalls, speedups) and the Table-4-style half-temperature table.
+	got := m.FigureReport() + "\n" + m.Table4Report()
+
+	golden := filepath.Join("testdata", "fig6_short.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("report output drifted from %s (regenerate with -update if the change is intended)\n--- want ---\n%s--- got ---\n%s",
+			golden, want, got)
+	}
+}

@@ -1,0 +1,141 @@
+// Package runner provides the bounded worker pool that fans the
+// experiment matrix (and any other set of independent simulation jobs)
+// across CPUs.
+//
+// The pool's contract is determinism-by-construction: jobs are
+// identified by their index in the serial iteration order, every job
+// writes its result into a slot that is pre-assigned from that index,
+// and no job shares mutable state with another. Under that contract the
+// assembled results are byte-identical for every worker count — only
+// wall-clock time and the interleaving of progress lines change. The
+// determinism tests in internal/experiments hold the simulator to it.
+package runner
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve returns the effective worker count for running n jobs at the
+// requested parallelism: 0 (or negative) means auto — one worker per
+// available CPU — and the result is always clamped to [1, n] (with a
+// floor of 1 when n is zero).
+func Resolve(parallelism, n int) int {
+	p := parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if n > 0 && p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Run executes fn(i) for every i in [0, n) on Resolve(parallelism, n)
+// workers. Jobs must be independent: each writes only into state owned
+// by its index. The first error cancels the run — jobs not yet started
+// are skipped, jobs already running finish — and Run returns the error
+// of the lowest-indexed failed job once all in-flight work has drained.
+// Parallelism 1 is the exact legacy serial path: jobs run in index
+// order on the calling goroutine and the first error aborts
+// immediately.
+func Run(parallelism, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Resolve(parallelism, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		stop     atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		firstIdx = n
+		wg       sync.WaitGroup
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if stop.Load() {
+					continue // drain the queue without running
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstErr, firstIdx = err, i
+					}
+					mu.Unlock()
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if stop.Load() {
+			break
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}
+
+// Progress serializes per-job progress lines from concurrent workers
+// onto a single writer. Each Step atomically advances the completed-job
+// counter and emits one "[done/total] ..." line under the lock, so
+// lines never interleave and the counter never repeats or skips. A nil
+// *Progress, or one with a nil writer, still counts but writes nothing.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	done  int
+	total int
+}
+
+// NewProgress returns a Progress reporting completion out of total onto
+// w (which may be nil to count silently).
+func NewProgress(w io.Writer, total int) *Progress {
+	return &Progress{w: w, total: total}
+}
+
+// Step records one completed job and writes its progress line. The
+// formatted message is appended after the "[done/total]" prefix; a
+// trailing newline is added.
+func (p *Progress) Step(format string, args ...any) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if p.w != nil {
+		fmt.Fprintf(p.w, "[%3d/%3d] %s\n", p.done, p.total, fmt.Sprintf(format, args...))
+	}
+}
+
+// Done returns the number of completed jobs recorded so far.
+func (p *Progress) Done() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.done
+}

@@ -1,0 +1,157 @@
+package runner
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	ncpu := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		parallelism, n, want int
+	}{
+		{1, 100, 1},
+		{4, 100, 4},
+		{4, 2, 2},   // clamped to job count
+		{8, 0, 8},   // n unknown: keep the request
+		{-3, 1, 1},  // auto, clamped to one job
+		{0, 1_000_000, ncpu},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.parallelism, c.n); got != c.want {
+			t.Errorf("Resolve(%d, %d) = %d, want %d", c.parallelism, c.n, got, c.want)
+		}
+	}
+	if got := Resolve(0, 0); got < 1 {
+		t.Errorf("Resolve(0, 0) = %d, want >= 1", got)
+	}
+}
+
+func TestRunSerialOrder(t *testing.T) {
+	var order []int
+	if err := Run(1, 5, func(i int) error {
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+func TestRunSerialErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	ran := 0
+	err := Run(1, 5, func(i int) error {
+		ran++
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 3 {
+		t.Fatalf("ran %d jobs after error at index 2", ran)
+	}
+}
+
+func TestRunParallelCoversAllSlots(t *testing.T) {
+	const n = 64
+	slots := make([]int32, n)
+	if err := Run(8, n, func(i int) error {
+		atomic.AddInt32(&slots[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range slots {
+		if v != 1 {
+			t.Fatalf("slot %d ran %d times", i, v)
+		}
+	}
+}
+
+func TestRunParallelErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := Run(4, 1000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ran.Load(); got == 1000 {
+		t.Error("cancellation never kicked in: all 1000 jobs ran")
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	if err := Run(0, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgressSerialized(t *testing.T) {
+	const n = 50
+	var buf bytes.Buffer
+	p := NewProgress(&buf, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.Step("job %d", i)
+		}(i)
+	}
+	wg.Wait()
+	if p.Done() != n {
+		t.Fatalf("done = %d, want %d", p.Done(), n)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != n {
+		t.Fatalf("%d progress lines, want %d", len(lines), n)
+	}
+	seen := map[string]bool{}
+	for _, l := range lines {
+		var done, total int
+		if _, err := fmt.Sscanf(l, "[%d/%d]", &done, &total); err != nil {
+			t.Fatalf("malformed progress line %q: %v", l, err)
+		}
+		if total != n || done < 1 || done > n {
+			t.Fatalf("bad counter in %q", l)
+		}
+		key := fmt.Sprintf("%d", done)
+		if seen[key] {
+			t.Fatalf("counter %d repeated", done)
+		}
+		seen[key] = true
+	}
+}
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.Step("ignored")
+	if p.Done() != 0 {
+		t.Fatal("nil Progress counted")
+	}
+	q := NewProgress(nil, 3)
+	q.Step("counted, not written")
+	if q.Done() != 1 {
+		t.Fatalf("done = %d", q.Done())
+	}
+}

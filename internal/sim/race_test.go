@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// TestConcurrentSimulators is the `go test -race` regression test for
+// the shared-state audit behind the parallel matrix runner: simulator
+// construction and execution must not share mutable state across
+// goroutines (profile table, config defaults, floorplan build, power
+// tables), and identically configured concurrent runs must come out
+// bit-identical.
+func TestConcurrentSimulators(t *testing.T) {
+	const cycles = 60_000
+	runs := []struct {
+		bench string
+		plan  config.FloorplanVariant
+	}{
+		{"gzip", config.PlanIQConstrained},
+		{"gzip", config.PlanIQConstrained}, // twin of the first: must match exactly
+		{"eon", config.PlanRFConstrained},
+		{"perlbmk", config.PlanALUConstrained},
+	}
+	results := make([]*Result, len(runs))
+	var wg sync.WaitGroup
+	for i, rn := range runs {
+		wg.Add(1)
+		go func(i int, bench string, plan config.FloorplanVariant) {
+			defer wg.Done()
+			cfg := config.Default()
+			cfg.Plan = plan
+			s, err := NewByName(cfg, bench)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			s.WarmupInstructions = 50_000
+			results[i] = s.RunCycles(cycles)
+		}(i, rn.bench, rn.plan)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("run %d produced no result", i)
+		}
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Errorf("identically configured concurrent runs diverged:\n%v\n%v", results[0], results[1])
+	}
+	if results[2].Benchmark != "eon" || results[3].Benchmark != "perlbmk" {
+		t.Error("results landed in the wrong slots")
+	}
+}

@@ -118,6 +118,14 @@ type Result struct {
 	peakTemp   []float64
 }
 
+// Blocks returns the names of the blocks the result carries
+// temperatures for, in floorplan order.
+func (r *Result) Blocks() []string {
+	out := make([]string, len(r.blockNames))
+	copy(out, r.blockNames)
+	return out
+}
+
 // AvgTemp returns the named block's temperature averaged over non-stalled
 // sensor samples, matching the paper's "averaged across the execution time
 // (non-overheated time)".

@@ -22,6 +22,7 @@ package trace
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Profile describes one synthetic benchmark.
@@ -137,9 +138,36 @@ func fpProfile(name string, seed uint64, dep float64, fadd, fmul, load, store fl
 	}
 }
 
+// The profile table is immutable after construction and is built
+// exactly once under profilesOnce, so concurrent simulator construction
+// (the parallel matrix runner builds one simulator per worker) is
+// race-free. Profile contains only value-typed fields, so the per-call
+// copies handed out by Profiles and ByName are deep.
+var (
+	profilesOnce   sync.Once
+	profilesMemo   []Profile
+	profilesByName map[string]Profile
+)
+
+func initProfiles() {
+	profilesMemo = buildProfiles()
+	profilesByName = make(map[string]Profile, len(profilesMemo))
+	for _, p := range profilesMemo {
+		profilesByName[p.Name] = p
+	}
+}
+
 // Profiles returns the 22 benchmark profiles in the paper's figure order
-// (alphabetical, as in Figures 6-8).
+// (alphabetical, as in Figures 6-8). The returned slice is a fresh copy;
+// callers may modify it freely.
 func Profiles() []Profile {
+	profilesOnce.Do(initProfiles)
+	out := make([]Profile, len(profilesMemo))
+	copy(out, profilesMemo)
+	return out
+}
+
+func buildProfiles() []Profile {
 	ps := []Profile{}
 
 	// --- SPEC2000 FP ---
@@ -260,13 +288,12 @@ func Profiles() []Profile {
 
 // ByName returns the named profile, or an error listing valid names.
 func ByName(name string) (Profile, error) {
-	for _, p := range Profiles() {
-		if p.Name == name {
-			return p, nil
-		}
+	profilesOnce.Do(initProfiles)
+	if p, ok := profilesByName[name]; ok {
+		return p, nil
 	}
-	names := make([]string, 0, 22)
-	for _, p := range Profiles() {
+	names := make([]string, 0, len(profilesMemo))
+	for _, p := range profilesMemo {
 		names = append(names, p.Name)
 	}
 	return Profile{}, fmt.Errorf("trace: unknown benchmark %q (have %v)", name, names)

@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/isa"
@@ -376,5 +377,30 @@ func TestBurstIntensityVaries(t *testing.T) {
 	}
 	if len(depths) < 2 {
 		t.Fatalf("all bursts identical length: %v", lens)
+	}
+}
+
+// TestProfilesConcurrencySafe is the race-detector regression test for
+// the memoized profile table: concurrent Profiles and ByName calls (the
+// parallel matrix runner constructs simulators on every worker) must
+// not race, and the copies handed out must be isolated from each other.
+func TestProfilesConcurrencySafe(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ps := Profiles()
+			// Scribble on the returned slice: a later caller must not see it.
+			ps[0].Name = fmt.Sprintf("scribble-%d", i)
+			ps[0].Seed = uint64(i)
+			if _, err := ByName("eon"); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := Profiles()[0].Name; got != "applu" {
+		t.Fatalf("profile table corrupted by a caller's scribble: first profile is %q", got)
 	}
 }
