@@ -11,6 +11,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -38,7 +39,7 @@ func runSpec(b *testing.B, spec experiments.Spec) *experiments.Matrix {
 	b.Helper()
 	spec.Cycles = benchCycles
 	spec.Warmup = benchWarmup
-	m, err := experiments.Run(spec, nil)
+	m, err := experiments.Run(context.Background(), spec, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func BenchmarkMatrixParallelism(b *testing.B) {
 				spec := experiments.Fig6(200_000, benches...)
 				spec.Warmup = 100_000
 				spec.Parallelism = par
-				m, err := experiments.Run(spec, nil)
+				m, err := experiments.Run(context.Background(), spec, nil)
 				if err != nil {
 					b.Fatal(err)
 				}

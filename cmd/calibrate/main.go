@@ -16,10 +16,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/config"
 	"repro/internal/floorplan"
@@ -75,9 +78,12 @@ func main() {
 	// One steady-state probe per benchmark, each with its own pipeline
 	// and thermal network; rows land in pre-indexed slots so the printed
 	// table keeps benchmark order at any parallelism.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	profiles := trace.Profiles()
 	rows := make([]string, len(profiles))
-	err := runner.Run(*parallel, len(profiles), func(i int) error {
+	err := runner.Run(ctx, *parallel, len(profiles), func(i int) error {
 		prof := profiles[i]
 		pcfg := cfg.Clone() // no shared pointers between workers
 		plan := floorplan.Build(pcfg.Plan)

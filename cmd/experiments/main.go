@@ -2,12 +2,19 @@
 //
 // Usage:
 //
-//	experiments [-cycles N] [-benchmarks a,b,c] [-parallel N] [table1|table2|table3|table4|table5|table6|fig6|fig7|fig8|all]...
+//	experiments [-cycles N] [-benchmarks a,b,c] [-parallel N]
+//	            [-cache-dir DIR] [table1|table2|table3|table4|table5|table6|fig6|fig7|fig8|all]...
 //
 // Each matrix's benchmark × technique cells are independent runs; they
 // are fanned out over -parallel workers (0 = one per CPU, 1 = serial).
 // The assembled tables and figures are byte-identical at any setting —
 // only the interleaving of progress lines changes.
+//
+// With -cache-dir the matrices run through the internal/service job
+// engine backed by a persistent content-addressed result cache: cells
+// already computed by an earlier invocation (or by a pipethermd daemon
+// sharing the directory) are served from the cache instead of being
+// re-simulated, marked "(cached)" in the progress output.
 //
 // Two extension experiments beyond the paper's evaluation run when named
 // explicitly: "temporal" (stop-go vs DVFS fallbacks) and "combined" (all
@@ -19,117 +26,193 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"syscall"
 
 	"repro/internal/config"
 	"repro/internal/experiments"
 	"repro/internal/power"
 	"repro/internal/regfile"
+	"repro/internal/service"
+	"repro/internal/trace"
 )
 
+// runOrder is the canonical output order; the paper interleaves tables
+// and figures this way. The "all" alias covers everything up to fig8;
+// the two extensions run only when named explicitly.
+var runOrder = []string{"table1", "table2", "table3", "table4", "fig6", "table5", "fig7", "table6", "fig8", "temporal", "combined"}
+
 func main() {
-	cycles := flag.Int64("cycles", experiments.DefaultCycles,
-		"cycles per run (default covers ~120ms of accelerated thermal time)")
-	benchList := flag.String("benchmarks", "",
-		"comma-separated benchmark subset for fig6/fig7/fig8 (default: all 22)")
-	quiet := flag.Bool("quiet", false, "suppress per-run progress")
-	bars := flag.Bool("bars", false, "also render figures as ASCII bar charts")
-	parallel := flag.Int("parallel", 0, "matrix workers (0 = one per CPU, 1 = serial)")
-	flag.Parse()
+	ctx, _ := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	args := flag.Args()
-	if len(args) == 0 {
-		args = []string{"all"}
-	}
-	var benches []string
-	if *benchList != "" {
-		benches = strings.Split(*benchList, ",")
+// run is the testable body of main; it returns the process exit code
+// (2 for usage errors, 1 for runtime failures).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		cycles = fs.Int64("cycles", experiments.DefaultCycles,
+			"cycles per run (default covers ~120ms of accelerated thermal time)")
+		benchList = fs.String("benchmarks", "",
+			"comma-separated benchmark subset for fig6/fig7/fig8 (default: all 22)")
+		quiet    = fs.Bool("quiet", false, "suppress per-run progress")
+		bars     = fs.Bool("bars", false, "also render figures as ASCII bar charts")
+		parallel = fs.Int("parallel", 0, "matrix workers (0 = one per CPU, 1 = serial)")
+		cacheDir = fs.String("cache-dir", "",
+			"run through the job engine with a persistent result cache in DIR; previously computed cells are not re-simulated")
+	)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
 	}
 
+	// Validate everything before simulating anything: a typo should
+	// fail fast, not after an hour of matrix runs.
+	names := fs.Args()
+	if len(names) == 0 {
+		names = []string{"all"}
+	}
 	ids := map[string]bool{}
-	for _, a := range args {
+	for _, a := range names {
 		if a == "all" {
-			for _, id := range []string{"table1", "table2", "table3", "table4", "table5", "table6", "fig6", "fig7", "fig8"} {
+			for _, id := range runOrder[:9] {
 				ids[id] = true
 			}
 			continue
 		}
-		// "temporal" and "combined" are extensions beyond the paper's
-		// evaluation and run only when named explicitly.
+		if !known(a) {
+			fmt.Fprintf(stderr, "experiments: unknown experiment %q (known: %s, all)\n", a, strings.Join(runOrder, ", "))
+			return 2
+		}
 		ids[a] = true
 	}
+	var benches []string
+	if *benchList != "" {
+		benches = strings.Split(*benchList, ",")
+		for _, b := range benches {
+			if _, err := trace.ByName(b); err != nil {
+				fmt.Fprintf(stderr, "experiments: %v\n", err)
+				return 2
+			}
+		}
+	}
 
-	var progress *os.File
+	var progress io.Writer
 	if !*quiet {
-		progress = os.Stderr
+		progress = stderr
 	}
 
-	runAndPrint := func(spec experiments.Spec, render func(*experiments.Matrix) string) {
+	// With a cache directory, matrices run through the service engine so
+	// cells computed by earlier invocations are reused.
+	runMatrix := func(spec experiments.Spec) (*experiments.Matrix, error) {
 		spec.Parallelism = *parallel
-		m, err := experiments.Run(spec, progress)
+		return experiments.Run(ctx, spec, progress)
+	}
+	if *cacheDir != "" {
+		cache, err := service.NewCache(1024, *cacheDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return 1
 		}
-		fmt.Println(render(m))
-		if *bars && strings.HasPrefix(spec.ID, "fig") {
-			fmt.Println(m.BarChart(56))
+		workers := *parallel
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+		}
+		engine := service.NewEngine(service.EngineConfig{Workers: workers, QueueDepth: 2048, Cache: cache})
+		defer engine.Shutdown(context.Background())
+		runMatrix = func(spec experiments.Spec) (*experiments.Matrix, error) {
+			spec.Parallelism = *parallel
+			return engine.RunMatrix(ctx, spec, progress)
 		}
 	}
 
-	for _, id := range []string{"table1", "table2", "table3", "table4", "fig6", "table5", "fig7", "table6", "fig8", "temporal", "combined"} {
+	runAndPrint := func(spec experiments.Spec, render func(*experiments.Matrix) string) error {
+		m, err := runMatrix(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, render(m))
+		if *bars && strings.HasPrefix(spec.ID, "fig") {
+			fmt.Fprintln(stdout, m.BarChart(56))
+		}
+		return nil
+	}
+
+	for _, id := range runOrder {
 		if !ids[id] {
 			continue
 		}
+		var err error
 		switch id {
 		case "table1":
-			printTable1()
+			printTable1(stdout)
 		case "table2":
-			printTable2()
+			printTable2(stdout)
 		case "table3":
-			printTable3()
+			printTable3(stdout)
 		case "table4":
-			runAndPrint(experiments.Table4(*cycles), (*experiments.Matrix).Table4Report)
+			err = runAndPrint(experiments.Table4(*cycles), (*experiments.Matrix).Table4Report)
 		case "fig6":
-			runAndPrint(experiments.Fig6(*cycles, benches...), (*experiments.Matrix).FigureReport)
+			err = runAndPrint(experiments.Fig6(*cycles, benches...), (*experiments.Matrix).FigureReport)
 		case "table5":
-			runAndPrint(experiments.Table5(*cycles), (*experiments.Matrix).Table5Report)
+			err = runAndPrint(experiments.Table5(*cycles), (*experiments.Matrix).Table5Report)
 		case "fig7":
-			runAndPrint(experiments.Fig7(*cycles, benches...), (*experiments.Matrix).FigureReport)
+			err = runAndPrint(experiments.Fig7(*cycles, benches...), (*experiments.Matrix).FigureReport)
 		case "table6":
-			runAndPrint(experiments.Table6(*cycles), (*experiments.Matrix).Table6Report)
+			err = runAndPrint(experiments.Table6(*cycles), (*experiments.Matrix).Table6Report)
 		case "fig8":
-			runAndPrint(experiments.Fig8(*cycles, benches...), (*experiments.Matrix).FigureReport)
+			err = runAndPrint(experiments.Fig8(*cycles, benches...), (*experiments.Matrix).FigureReport)
 		case "temporal":
-			runAndPrint(experiments.Temporal(*cycles, benches...), (*experiments.Matrix).FigureReport)
+			err = runAndPrint(experiments.Temporal(*cycles, benches...), (*experiments.Matrix).FigureReport)
 		case "combined":
 			for _, plan := range []config.FloorplanVariant{
 				config.PlanIQConstrained, config.PlanALUConstrained, config.PlanRFConstrained,
 			} {
-				runAndPrint(experiments.Combined(*cycles, plan, benches...), (*experiments.Matrix).FigureReport)
+				if err = runAndPrint(experiments.Combined(*cycles, plan, benches...), (*experiments.Matrix).FigureReport); err != nil {
+					break
+				}
 			}
-		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
-			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return 1
 		}
 	}
+	return 0
 }
 
-func printTable1() {
-	fmt.Println("Register-port mappings (Table 1)")
-	fmt.Printf("%-20s %-45s %-45s\n", "power-density", "balanced mapping", "priority mapping")
-	for _, r := range regfile.Table1() {
-		fmt.Printf("%-20s %-45s %-45s\n", r.PowerDensity, r.Balanced, r.Priority)
+func known(id string) bool {
+	for _, k := range runOrder {
+		if id == k {
+			return true
+		}
 	}
-	fmt.Println()
+	return false
 }
 
-func printTable2() {
+func printTable1(w io.Writer) {
+	fmt.Fprintln(w, "Register-port mappings (Table 1)")
+	fmt.Fprintf(w, "%-20s %-45s %-45s\n", "power-density", "balanced mapping", "priority mapping")
+	for _, r := range regfile.Table1() {
+		fmt.Fprintf(w, "%-20s %-45s %-45s\n", r.PowerDensity, r.Balanced, r.Priority)
+	}
+	fmt.Fprintln(w)
+}
+
+func printTable2(w io.Writer) {
 	c := config.Default()
-	fmt.Println("Processor parameters (Table 2)")
+	fmt.Fprintln(w, "Processor parameters (Table 2)")
 	rows := [][2]string{
 		{"Out-of-order issue", fmt.Sprintf("%d instructions/cycle", c.IssueWidth)},
 		{"Active list", fmt.Sprintf("%d entries (%d-entry LSQ)", c.ActiveList, c.LSQEntries)},
@@ -145,15 +228,15 @@ func printTable2() {
 			c.FrequencyGHz, c.VddVolts, c.TechnologyNM)},
 	}
 	for _, r := range rows {
-		fmt.Printf("  %-32s %s\n", r[0], r[1])
+		fmt.Fprintf(w, "  %-32s %s\n", r[0], r[1])
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
-func printTable3() {
-	fmt.Println("Issue energy by component, nJ (Table 3)")
+func printTable3(w io.Writer) {
+	fmt.Fprintln(w, "Issue energy by component, nJ (Table 3)")
 	for _, r := range power.Table3() {
-		fmt.Printf("  %-28s (%s) %7.4f\n", r.Component, r.Unit, r.NanoJ)
+		fmt.Fprintf(w, "  %-28s (%s) %7.4f\n", r.Component, r.Unit, r.NanoJ)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }

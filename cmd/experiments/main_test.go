@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func runCLI(args ...string) (int, string, string) {
+	var out, errOut bytes.Buffer
+	code := run(context.Background(), args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+// TestRunRejectsUnknownNames pins the fail-fast contract: typos in
+// experiment or benchmark names exit 2 before any simulation starts.
+func TestRunRejectsUnknownNames(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"experiment", []string{"fig9"}, `unknown experiment "fig9"`},
+		{"experiment among valid", []string{"table1", "firg6"}, `unknown experiment "firg6"`},
+		{"benchmark", []string{"-benchmarks", "eon,doom3", "fig6"}, "doom3"},
+	}
+	for _, c := range cases {
+		code, out, errOut := runCLI(c.args...)
+		if code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", c.name, code, errOut)
+		}
+		if !strings.Contains(errOut, c.want) {
+			t.Errorf("%s: stderr %q missing %q", c.name, errOut, c.want)
+		}
+		if out != "" {
+			t.Errorf("%s: stdout not empty despite usage error:\n%s", c.name, out)
+		}
+	}
+	if code, _, _ := runCLI("-no-such-flag"); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+}
+
+func TestRunStaticTables(t *testing.T) {
+	code, out, errOut := runCLI("-quiet", "table1", "table2", "table3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"Table 1", "Table 2", "Table 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// TestRunCachedMatrixReuse runs the same tiny figure twice against one
+// cache directory; the second invocation must reuse every cell and
+// print byte-identical report output.
+func TestRunCachedMatrixReuse(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-cycles", "120000", "-benchmarks", "eon", "-cache-dir", dir, "fig6"}
+
+	code, out1, err1 := runCLI(args...)
+	if code != 0 {
+		t.Fatalf("first run: exit %d, stderr: %s", code, err1)
+	}
+	if strings.Contains(err1, "(cached)") {
+		t.Fatalf("first run over an empty cache reported cached cells:\n%s", err1)
+	}
+
+	code, out2, err2 := runCLI(args...)
+	if code != 0 {
+		t.Fatalf("second run: exit %d, stderr: %s", code, err2)
+	}
+	if out1 != out2 {
+		t.Errorf("cached rerun changed the report:\n--- first\n%s\n--- second\n%s", out1, out2)
+	}
+	steps := 0
+	for _, line := range strings.Split(strings.TrimSpace(err2), "\n") {
+		if strings.Contains(line, "fig6") {
+			steps++
+			if !strings.Contains(line, "(cached)") {
+				t.Errorf("second-run cell not served from cache: %s", line)
+			}
+		}
+	}
+	if steps == 0 {
+		t.Error("no progress lines seen on the cached rerun")
+	}
+}
+
+// TestRunCachedMatchesDirect pins that the engine-backed path produces
+// the same report as the plain experiments.Run path.
+func TestRunCachedMatchesDirect(t *testing.T) {
+	args := []string{"-quiet", "-cycles", "120000", "-benchmarks", "eon", "fig6"}
+	code, direct, errOut := runCLI(args...)
+	if code != 0 {
+		t.Fatalf("direct run: exit %d, stderr: %s", code, errOut)
+	}
+	code, cached, errOut := runCLI(append([]string{"-cache-dir", t.TempDir()}, args...)...)
+	if code != 0 {
+		t.Fatalf("cached run: exit %d, stderr: %s", code, errOut)
+	}
+	if direct != cached {
+		t.Errorf("engine-backed report differs from direct report:\n--- direct\n%s\n--- cached\n%s", direct, cached)
+	}
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -20,15 +21,34 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "eon", "benchmark name (SPEC2000 subset)")
-	planName := flag.String("plan", "iq", "floorplan variant: iq, alu, or rf")
-	cycles := flag.Int64("cycles", 4_000_000, "run length in cycles")
-	toggle := flag.Bool("toggle", false, "enable issue-queue activity toggling")
-	aluPolicy := flag.String("alu", "base", "ALU policy: base, fgt, or rr")
-	rfMap := flag.String("rfmap", "priority", "register-file mapping: priority, balanced, complete")
-	rfTurnoff := flag.Bool("rfturnoff", false, "enable register-file copy turnoff")
-	showTemps := flag.Bool("temps", false, "print per-block temperatures")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main; it returns the process exit code
+// (2 for usage errors such as unknown names, 1 for runtime failures).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pipetherm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		bench     = fs.String("bench", "eon", "benchmark name (SPEC2000 subset)")
+		planName  = fs.String("plan", "iq", "floorplan variant: iq, alu, or rf")
+		cycles    = fs.Int64("cycles", 4_000_000, "run length in cycles")
+		toggle    = fs.Bool("toggle", false, "enable issue-queue activity toggling")
+		aluPolicy = fs.String("alu", "base", "ALU policy: base, fgt, or rr")
+		rfMap     = fs.String("rfmap", "priority", "register-file mapping: priority, balanced, complete")
+		rfTurnoff = fs.Bool("rfturnoff", false, "enable register-file copy turnoff")
+		showTemps = fs.Bool("temps", false, "print per-block temperatures")
+	)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "pipetherm: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
 
 	cfg := config.Default()
 	switch *planName {
@@ -39,7 +59,8 @@ func main() {
 	case "rf":
 		cfg.Plan = config.PlanRFConstrained
 	default:
-		fatalf("unknown plan %q", *planName)
+		fmt.Fprintf(stderr, "pipetherm: unknown plan %q (valid: iq, alu, rf)\n", *planName)
+		return 2
 	}
 	if *toggle {
 		cfg.Techniques.IQ = config.IQToggle
@@ -51,7 +72,8 @@ func main() {
 	case "rr":
 		cfg.Techniques.ALU = config.ALURoundRobin
 	default:
-		fatalf("unknown ALU policy %q", *aluPolicy)
+		fmt.Fprintf(stderr, "pipetherm: unknown ALU policy %q (valid: base, fgt, rr)\n", *aluPolicy)
+		return 2
 	}
 	switch *rfMap {
 	case "priority":
@@ -61,30 +83,32 @@ func main() {
 	case "complete":
 		cfg.Techniques.RFMap = config.MapCompletelyBalanced
 	default:
-		fatalf("unknown register-file mapping %q", *rfMap)
+		fmt.Fprintf(stderr, "pipetherm: unknown register-file mapping %q (valid: priority, balanced, complete)\n", *rfMap)
+		return 2
 	}
 	cfg.Techniques.RFTurnoff = *rfTurnoff
 
 	s, err := sim.NewByName(cfg, *bench)
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "pipetherm: %v\n", err)
+		return 2
 	}
 	r := s.RunCycles(*cycles)
 
-	fmt.Printf("benchmark    %s\n", r.Benchmark)
-	fmt.Printf("floorplan    %v\n", r.Plan)
-	fmt.Printf("techniques   %v\n", r.Techniques)
-	fmt.Printf("cycles       %d (%d active, %d stalled)\n", r.Cycles, r.ActiveCycles, r.StallCycles)
-	fmt.Printf("committed    %d instructions\n", r.Committed)
-	fmt.Printf("IPC          %.3f\n", r.IPC)
-	fmt.Printf("chip power   %.1f W (average)\n", r.AvgChipPowerW)
-	fmt.Printf("events       %d cooling stalls, %d IQ toggles (%d int / %d fp), %d ALU turnoffs, %d RF-copy turnoffs\n",
+	fmt.Fprintf(stdout, "benchmark    %s\n", r.Benchmark)
+	fmt.Fprintf(stdout, "floorplan    %v\n", r.Plan)
+	fmt.Fprintf(stdout, "techniques   %v\n", r.Techniques)
+	fmt.Fprintf(stdout, "cycles       %d (%d active, %d stalled)\n", r.Cycles, r.ActiveCycles, r.StallCycles)
+	fmt.Fprintf(stdout, "committed    %d instructions\n", r.Committed)
+	fmt.Fprintf(stdout, "IPC          %.3f\n", r.IPC)
+	fmt.Fprintf(stdout, "chip power   %.1f W (average)\n", r.AvgChipPowerW)
+	fmt.Fprintf(stdout, "events       %d cooling stalls, %d IQ toggles (%d int / %d fp), %d ALU turnoffs, %d RF-copy turnoffs\n",
 		r.Stalls, r.IntToggles+r.FPToggles, r.IntToggles, r.FPToggles, r.ALUTurnoffs, r.RFCopyTurnoffs)
 	hot, temp := r.HottestBlock()
-	fmt.Printf("hottest      %s at %.1f K average\n", hot, temp)
+	fmt.Fprintf(stdout, "hottest      %s at %.1f K average\n", hot, temp)
 
 	if *showTemps {
-		fmt.Println("\nper-block temperatures (avg / peak, K):")
+		fmt.Fprintln(stdout, "\nper-block temperatures (avg / peak, K):")
 		names := s.Plan.Blocks
 		idx := make([]int, len(names))
 		for i := range idx {
@@ -95,12 +119,8 @@ func main() {
 		})
 		for _, i := range idx {
 			n := names[i].Name
-			fmt.Printf("  %-10s %7.2f / %7.2f\n", n, r.AvgTemp(n), r.PeakTemp(n))
+			fmt.Fprintf(stdout, "  %-10s %7.2f / %7.2f\n", n, r.AvgTemp(n), r.PeakTemp(n))
 		}
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(1)
+	return 0
 }

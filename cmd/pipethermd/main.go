@@ -1,0 +1,115 @@
+// Command pipethermd serves the pipeline-thermal simulator as an HTTP
+// service: submit cells or whole experiment matrices as jobs, poll
+// their status, and fetch results or paper-style reports. Identical
+// requests are answered from a content-addressed result cache, which
+// the -cache-dir flag persists across restarts.
+//
+// Usage:
+//
+//	pipethermd [-addr :8080] [-workers N] [-queue N]
+//	           [-cache-entries N] [-cache-dir DIR]
+//	           [-job-timeout D] [-drain-timeout D]
+//
+// On SIGTERM or SIGINT the daemon stops accepting work, lets running
+// jobs finish, and exits once drained or once -drain-timeout elapses.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, signalContext()))
+}
+
+// signalContext cancels on SIGTERM/SIGINT.
+func signalContext() context.Context {
+	ctx, _ := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	return ctx
+}
+
+// run is the testable body of main: parses args, serves until ctx is
+// cancelled, drains, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer, ctx context.Context) int {
+	fs := flag.NewFlagSet("pipethermd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers      = fs.Int("workers", runtime.NumCPU(), "simulation worker goroutines")
+		queue        = fs.Int("queue", 64, "job queue depth before submissions are rejected with 429")
+		cacheEntries = fs.Int("cache-entries", 256, "in-memory result cache capacity")
+		cacheDir     = fs.String("cache-dir", "", "directory for the persistent result cache (empty: memory only)")
+		jobTimeout   = fs.Duration("job-timeout", 0, "per-job wall-clock limit (0: none)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "shutdown grace period for running jobs")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "pipethermd: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+
+	cache, err := service.NewCache(*cacheEntries, *cacheDir)
+	if err != nil {
+		fmt.Fprintf(stderr, "pipethermd: %v\n", err)
+		return 1
+	}
+	engine := service.NewEngine(service.EngineConfig{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+		Cache:      cache,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "pipethermd: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{Handler: service.NewServer(engine)}
+	fmt.Fprintf(stdout, "pipethermd listening on http://%s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// Listener died without a signal: report and bail.
+		fmt.Fprintf(stderr, "pipethermd: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(stdout, "pipethermd: draining (deadline %s)\n", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+
+	// Stop accepting connections first, then let the engine finish the
+	// jobs already running; both share the drain deadline.
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "pipethermd: http shutdown: %v\n", err)
+	}
+	if err := engine.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "pipethermd: engine shutdown: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "pipethermd: drained, bye")
+	return 0
+}

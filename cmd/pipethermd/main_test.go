@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read stdout while run() is still writing it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// startDaemon runs the daemon on a free port and returns its base URL
+// plus a stop function that triggers the drain and returns the exit
+// code.
+func startDaemon(t *testing.T, args ...string) (string, func() int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var stdout syncBuffer
+	var stderr bytes.Buffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), &stdout, &stderr, ctx)
+	}()
+
+	// Wait for the startup line to learn the port.
+	var url string
+	deadline := time.Now().Add(10 * time.Second)
+	for url == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stderr: %s", stderr.String())
+		}
+		out := stdout.String()
+		if i := strings.Index(out, "http://"); i >= 0 {
+			url = strings.TrimSpace(strings.SplitN(out[i:], "\n", 2)[0])
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	return url, func() int {
+		cancel()
+		select {
+		case code := <-exit:
+			return code
+		case <-time.After(60 * time.Second):
+			t.Fatal("daemon did not exit after cancellation")
+			return -1
+		}
+	}
+}
+
+// TestDaemonServeSubmitDrain boots the daemon, checks liveness, runs a
+// tiny cell twice (second must be a cache hit), then drains cleanly.
+func TestDaemonServeSubmitDrain(t *testing.T) {
+	url, stop := startDaemon(t, "-workers", "2", "-cache-dir", t.TempDir())
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := `{"benchmark":"eon","cycles":100000,"warmup":10000}`
+	var results [2]string
+	for i := range results {
+		resp, err := http.Post(url+"/v1/jobs?wait=1", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, b)
+		}
+		results[i] = string(b)
+	}
+	if !strings.Contains(results[1], `"cached":true`) {
+		t.Errorf("second submission not served from cache: %s", results[1])
+	}
+
+	if code := stop(); code != 0 {
+		t.Fatalf("exit code %d after drain, want 0", code)
+	}
+}
+
+// TestDaemonDrainWaitsForRunningJob sends SIGTERM-equivalent
+// cancellation while a job is running and expects the job to finish
+// within the drain deadline and the process to exit 0.
+func TestDaemonDrainWaitsForRunningJob(t *testing.T) {
+	url, stop := startDaemon(t, "-workers", "1", "-drain-timeout", "60s")
+
+	// A meatier job so the drain genuinely overlaps it.
+	body := `{"benchmark":"eon","cycles":2000000,"warmup":100000}`
+	resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %d %s", resp.StatusCode, b)
+	}
+
+	if code := stop(); code != 0 {
+		t.Fatalf("exit code %d, want 0 (drain should let the running job finish)", code)
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errOut, context.Background()); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"stray"}, &out, &errOut, context.Background()); code != 2 {
+		t.Errorf("stray argument: exit %d, want 2", code)
+	}
+	if code := run([]string{"-addr", "999.999.999.999:1"}, &out, &errOut, context.Background()); code != 1 {
+		t.Errorf("bad address: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "pipethermd:") {
+		t.Errorf("stderr missing prefix: %s", errOut.String())
+	}
+}

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/config"
@@ -18,7 +19,7 @@ func TestPaperShapeALUExperiment(t *testing.T) {
 	}
 	spec := experiments.Fig7(benchCycles, "perlbmk", "parser")
 	spec.Warmup = benchWarmup
-	m, err := experiments.Run(spec, nil)
+	m, err := experiments.Run(context.Background(), spec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestPaperShapeRFExperiment(t *testing.T) {
 	}
 	spec := experiments.Fig8(benchCycles, "eon")
 	spec.Warmup = benchWarmup
-	m, err := experiments.Run(spec, nil)
+	m, err := experiments.Run(context.Background(), spec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestPaperShapeToggling(t *testing.T) {
 	}
 	spec := experiments.Fig6(benchCycles, "gzip", "art")
 	spec.Warmup = benchWarmup
-	m, err := experiments.Run(spec, nil)
+	m, err := experiments.Run(context.Background(), spec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestPaperShapeToggling(t *testing.T) {
 	// DVFS smoke: the temporal experiment runs end to end.
 	tspec := experiments.Temporal(benchCycles/2, "gzip")
 	tspec.Warmup = benchWarmup
-	tm, err := experiments.Run(tspec, nil)
+	tm, err := experiments.Run(context.Background(), tspec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

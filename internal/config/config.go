@@ -172,12 +172,12 @@ func (v FloorplanVariant) String() string {
 // Techniques bundles the power-density technique selections for one run.
 // The zero value is the conventional baseline everywhere.
 type Techniques struct {
-	IQ        IQPolicy
-	ALU       ALUPolicy
-	RFMap     RFMapping
-	RFTurnoff bool // fine-grain turnoff of register-file copies
-	RFWrites  RFWritePolicy
-	Temporal  TemporalPolicy // fallback when spatial techniques run out
+	IQ        IQPolicy       `json:"iq"`
+	ALU       ALUPolicy      `json:"alu"`
+	RFMap     RFMapping      `json:"rf_map"`
+	RFTurnoff bool           `json:"rf_turnoff"` // fine-grain turnoff of register-file copies
+	RFWrites  RFWritePolicy  `json:"rf_writes"`
+	Temporal  TemporalPolicy `json:"temporal"` // fallback when spatial techniques run out
 }
 
 func (t Techniques) String() string {

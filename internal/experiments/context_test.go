@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRunContextCancelAborts cancels a matrix mid-run and checks the
+// error surfaces and no partial matrix is returned, at both the serial
+// and the parallel setting.
+func TestRunContextCancelAborts(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		spec := Fig6(DefaultCycles) // all 22 benchmarks: long enough to outlive the cancel
+		spec.Warmup = 10_000
+		spec.Parallelism = p
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		var progress bytes.Buffer
+		go func() {
+			time.Sleep(50 * time.Millisecond)
+			cancel()
+			close(done)
+		}()
+		m, err := Run(ctx, spec, &progress)
+		<-done
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism %d: err = %v, want context.Canceled", p, err)
+		}
+		if m != nil {
+			t.Fatalf("parallelism %d: partial matrix returned alongside cancellation", p)
+		}
+	}
+}

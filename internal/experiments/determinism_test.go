@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"reflect"
 	"strings"
@@ -24,15 +25,15 @@ func detSpec(parallelism int) Spec {
 // parallel runs must be bit-identical to each other.
 func TestParallelDeterminism(t *testing.T) {
 	var progress bytes.Buffer
-	serial, err := Run(detSpec(1), nil)
+	serial, err := Run(context.Background(), detSpec(1), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Run(detSpec(8), &progress)
+	par, err := Run(context.Background(), detSpec(8), &progress)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par2, err := Run(detSpec(8), nil)
+	par2, err := Run(context.Background(), detSpec(8), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestParallelErrorAborts(t *testing.T) {
 	for _, p := range []int{1, 8} {
 		spec := fast(Fig6(testCycles, "eon", "doom3", "gzip"))
 		spec.Parallelism = p
-		m, err := Run(spec, nil)
+		m, err := Run(context.Background(), spec, nil)
 		if err == nil {
 			t.Fatalf("parallelism %d: unknown benchmark accepted", p)
 		}

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -133,7 +134,15 @@ func AllBenchmarks() []string {
 // any parallelism; progress lines are serialized but arrive in
 // completion order. The first cell-construction error cancels the
 // outstanding jobs and is returned after in-flight cells drain.
-func Run(spec Spec, w io.Writer) (*Matrix, error) {
+//
+// Cancelling ctx aborts the matrix: pending cells are skipped, each
+// in-flight cell stops at its next sensor interval, and Run returns
+// ctx's error. A never-cancelled ctx leaves the output bit-identical to
+// the pre-context behaviour.
+func Run(ctx context.Context, spec Spec, w io.Writer) (*Matrix, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if spec.Cycles <= 0 {
 		spec.Cycles = DefaultCycles
 	}
@@ -149,7 +158,7 @@ func Run(spec Spec, w io.Writer) (*Matrix, error) {
 	}
 	m.Cells = make([]Cell, total)
 	prog := runner.NewProgress(w, total)
-	err := runner.Run(spec.Parallelism, total, func(i int) error {
+	err := runner.Run(ctx, spec.Parallelism, total, func(i int) error {
 		b, v := benches[i/nv], spec.Variants[i%nv]
 		cfg := config.Default()
 		cfg.Plan = spec.Plan
@@ -159,7 +168,10 @@ func Run(spec Spec, w io.Writer) (*Matrix, error) {
 			return fmt.Errorf("experiments: %s/%s: %w", b, v.Name, err)
 		}
 		s.WarmupInstructions = spec.Warmup
-		r := s.RunCycles(spec.Cycles)
+		r, err := s.RunCyclesContext(ctx, spec.Cycles)
+		if err != nil {
+			return fmt.Errorf("experiments: %s/%s: %w", b, v.Name, err)
+		}
 		m.Cells[i] = Cell{Benchmark: b, Variant: v.Name, R: r}
 		prog.Step("%s %-9s %-24s IPC=%.3f stalls=%d", spec.ID, b, v.Name, r.IPC, r.Stalls)
 		return nil
@@ -168,6 +180,29 @@ func Run(spec Spec, w io.Writer) (*Matrix, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// ByID returns the named experiment's Spec — the registry the service
+// batch API and cmd/experiments share. benchmarks applies only to the
+// figure-style experiments; the tables pin the paper's benchmark sets.
+func ByID(id string, cycles int64, benchmarks ...string) (Spec, error) {
+	switch id {
+	case "fig6":
+		return Fig6(cycles, benchmarks...), nil
+	case "fig7":
+		return Fig7(cycles, benchmarks...), nil
+	case "fig8":
+		return Fig8(cycles, benchmarks...), nil
+	case "table4":
+		return Table4(cycles), nil
+	case "table5":
+		return Table5(cycles), nil
+	case "table6":
+		return Table6(cycles), nil
+	case "temporal":
+		return Temporal(cycles, benchmarks...), nil
+	}
+	return Spec{}, fmt.Errorf("experiments: unknown experiment %q (valid: fig6 fig7 fig8 table4 table5 table6 temporal)", id)
 }
 
 // --- Experiment specs -----------------------------------------------------
@@ -374,6 +409,21 @@ func (m *Matrix) FigureReport() string {
 			v.Name, baseName, all*100, con*100, n)
 	}
 	return sb.String()
+}
+
+// Report renders the matrix in the presentation the paper uses for its
+// experiment ID: the table renderers for table4/5/6, the figure report
+// for everything else.
+func (m *Matrix) Report() string {
+	switch m.Spec.ID {
+	case "table4":
+		return m.Table4Report()
+	case "table5":
+		return m.Table5Report()
+	case "table6":
+		return m.Table6Report()
+	}
+	return m.FigureReport()
 }
 
 // Table4Report renders the paper's Table 4: average temperatures of the

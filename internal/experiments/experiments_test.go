@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -78,7 +79,7 @@ func fast(s Spec) Spec {
 func TestRunMatrixAndReports(t *testing.T) {
 	spec := fast(Fig6(testCycles, "eon", "art"))
 	var progress bytes.Buffer
-	m, err := Run(spec, &progress)
+	m, err := Run(context.Background(), spec, &progress)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestRunMatrixAndReports(t *testing.T) {
 }
 
 func TestTableReports(t *testing.T) {
-	m4, err := Run(fast(Table4(testCycles)), nil)
+	m4, err := Run(context.Background(), fast(Table4(testCycles)), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestTableReports(t *testing.T) {
 		}
 	}
 
-	m5, err := Run(fast(Table5(testCycles)), nil)
+	m5, err := Run(context.Background(), fast(Table5(testCycles)), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestTableReports(t *testing.T) {
 		}
 	}
 
-	m6, err := Run(fast(Table6(testCycles)), nil)
+	m6, err := Run(context.Background(), fast(Table6(testCycles)), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestTableReports(t *testing.T) {
 }
 
 func TestSpeedupMath(t *testing.T) {
-	m, err := Run(fast(Fig6(testCycles, "eon")), nil)
+	m, err := Run(context.Background(), fast(Fig6(testCycles, "eon")), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestTemporalAndCombinedSpecs(t *testing.T) {
 	if cb.Variants[1].Tech.ALU != config.ALUFineGrain || !cb.Variants[1].Tech.RFTurnoff {
 		t.Fatal("combined variant missing techniques")
 	}
-	m, err := Run(fast(Temporal(testCycles, "eon")), nil)
+	m, err := Run(context.Background(), fast(Temporal(testCycles, "eon")), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestTemporalAndCombinedSpecs(t *testing.T) {
 }
 
 func TestRunRejectsUnknownBenchmark(t *testing.T) {
-	if _, err := Run(fast(Fig6(testCycles, "doom3")), nil); err == nil {
+	if _, err := Run(context.Background(), fast(Fig6(testCycles, "doom3")), nil); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
 }
@@ -197,13 +198,13 @@ func TestDefaultCyclesApplied(t *testing.T) {
 	// Run applies the default; use a tiny override to avoid a long test.
 	spec.Cycles = testCycles
 	spec.Warmup = 50_000
-	if _, err := Run(spec, nil); err != nil {
+	if _, err := Run(context.Background(), spec, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestBarChart(t *testing.T) {
-	m, err := Run(fast(Fig6(testCycles, "eon")), nil)
+	m, err := Run(context.Background(), fast(Fig6(testCycles, "eon")), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

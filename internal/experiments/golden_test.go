@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -21,7 +22,7 @@ var update = flag.Bool("update", false, "rewrite golden files with current outpu
 // exercises the parallel path on multi-core CI.
 func TestGoldenFig6Short(t *testing.T) {
 	spec := fast(Fig6(testCycles, "art", "eon", "gzip"))
-	m, err := Run(spec, nil)
+	m, err := Run(context.Background(), spec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -45,13 +46,25 @@ func Resolve(parallelism, n int) int {
 // Parallelism 1 is the exact legacy serial path: jobs run in index
 // order on the calling goroutine and the first error aborts
 // immediately.
-func Run(parallelism, n int, fn func(i int) error) error {
+//
+// Cancelling ctx cancels the run the same way a job error does: no new
+// jobs are dispatched, in-flight jobs finish (fn may also observe ctx
+// itself to stop early), and Run returns ctx's error — unless a job
+// failed first, in which case the job error wins. A nil ctx is treated
+// as context.Background().
+func Run(ctx context.Context, parallelism, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers := Resolve(parallelism, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -72,7 +85,7 @@ func Run(parallelism, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if stop.Load() {
+				if stop.Load() || ctx.Err() != nil {
 					continue // drain the queue without running
 				}
 				if err := fn(i); err != nil {
@@ -87,14 +100,17 @@ func Run(parallelism, n int, fn func(i int) error) error {
 		}()
 	}
 	for i := 0; i < n; i++ {
-		if stop.Load() {
+		if stop.Load() || ctx.Err() != nil {
 			break
 		}
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }
 
 // Progress serializes per-job progress lines from concurrent workers

@@ -2,6 +2,7 @@ package runner
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -18,9 +19,9 @@ func TestResolve(t *testing.T) {
 	}{
 		{1, 100, 1},
 		{4, 100, 4},
-		{4, 2, 2},   // clamped to job count
-		{8, 0, 8},   // n unknown: keep the request
-		{-3, 1, 1},  // auto, clamped to one job
+		{4, 2, 2},  // clamped to job count
+		{8, 0, 8},  // n unknown: keep the request
+		{-3, 1, 1}, // auto, clamped to one job
 		{0, 1_000_000, ncpu},
 	}
 	for _, c := range cases {
@@ -35,7 +36,7 @@ func TestResolve(t *testing.T) {
 
 func TestRunSerialOrder(t *testing.T) {
 	var order []int
-	if err := Run(1, 5, func(i int) error {
+	if err := Run(context.Background(), 1, 5, func(i int) error {
 		order = append(order, i)
 		return nil
 	}); err != nil {
@@ -51,7 +52,7 @@ func TestRunSerialOrder(t *testing.T) {
 func TestRunSerialErrorAborts(t *testing.T) {
 	boom := errors.New("boom")
 	ran := 0
-	err := Run(1, 5, func(i int) error {
+	err := Run(context.Background(), 1, 5, func(i int) error {
 		ran++
 		if i == 2 {
 			return boom
@@ -69,7 +70,7 @@ func TestRunSerialErrorAborts(t *testing.T) {
 func TestRunParallelCoversAllSlots(t *testing.T) {
 	const n = 64
 	slots := make([]int32, n)
-	if err := Run(8, n, func(i int) error {
+	if err := Run(context.Background(), 8, n, func(i int) error {
 		atomic.AddInt32(&slots[i], 1)
 		return nil
 	}); err != nil {
@@ -85,7 +86,7 @@ func TestRunParallelCoversAllSlots(t *testing.T) {
 func TestRunParallelErrorCancels(t *testing.T) {
 	boom := errors.New("boom")
 	var ran atomic.Int32
-	err := Run(4, 1000, func(i int) error {
+	err := Run(context.Background(), 4, 1000, func(i int) error {
 		ran.Add(1)
 		if i == 0 {
 			return boom
@@ -101,7 +102,7 @@ func TestRunParallelErrorCancels(t *testing.T) {
 }
 
 func TestRunZeroJobs(t *testing.T) {
-	if err := Run(0, 0, func(int) error { return errors.New("never") }); err != nil {
+	if err := Run(context.Background(), 0, 0, func(int) error { return errors.New("never") }); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -153,5 +154,71 @@ func TestProgressNilSafe(t *testing.T) {
 	q.Step("counted, not written")
 	if q.Done() != 1 {
 		t.Fatalf("done = %d", q.Done())
+	}
+}
+
+// TestRunContextCancelParallel checks that cancelling the context stops
+// dispatch, drains in-flight jobs, and surfaces context.Canceled.
+func TestRunContextCancelParallel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := Run(ctx, 4, 1000, func(i int) error {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got == 1000 {
+		t.Error("cancellation never kicked in: all 1000 jobs ran")
+	}
+}
+
+// TestRunContextCancelSerial checks the serial path stops between jobs.
+func TestRunContextCancelSerial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := Run(ctx, 1, 10, func(i int) error {
+		ran++
+		if i == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 3 {
+		t.Fatalf("ran %d jobs after cancel at index 2", ran)
+	}
+}
+
+// TestRunJobErrorBeatsContextCancel: when a job fails and the context is
+// then cancelled, the job error is returned (first-error semantics).
+func TestRunJobErrorBeatsContextCancel(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	err := Run(ctx, 4, 100, func(i int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want job error to win over cancellation", err)
+	}
+}
+
+// TestRunNilContext treats nil as context.Background().
+func TestRunNilContext(t *testing.T) {
+	ran := 0
+	if err := Run(nil, 1, 3, func(i int) error { ran++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 3 {
+		t.Fatalf("ran %d of 3 jobs", ran)
 	}
 }

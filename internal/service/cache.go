@@ -1,0 +1,200 @@
+// The content-addressed result cache: an in-memory LRU over result JSON
+// bytes keyed by job key, with an optional on-disk layer that survives
+// restarts. Disk entries are one file per key (write-temp-then-rename,
+// so a crash never leaves a half-written entry under the final name); a
+// file that fails validation — unreadable, invalid JSON, or
+// inconsistent result vectors — is deleted and treated as a miss, never
+// served.
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// CacheStats is a snapshot of the cache counters.
+type CacheStats struct {
+	Hits     uint64 `json:"hits"`      // total hits, memory + disk
+	Misses   uint64 `json:"misses"`    // lookups that found nothing usable
+	DiskHits uint64 `json:"disk_hits"` // hits served by promoting a disk entry
+	Corrupt  uint64 `json:"corrupt"`   // disk entries rejected and removed
+	Entries  int    `json:"entries"`   // current in-memory entry count
+}
+
+// Cache is safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	dir      string // "" = memory only
+	ll       *list.List
+	items    map[string]*list.Element
+	stats    CacheStats
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// NewCache returns a cache holding at most capacity entries in memory
+// (capacity < 1 is raised to 1), persisting entries under dir when dir
+// is non-empty. The directory is created if needed.
+func NewCache(capacity int, dir string) (*Cache, error) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: cache dir: %w", err)
+		}
+	}
+	return &Cache{
+		capacity: capacity,
+		dir:      dir,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}, nil
+}
+
+// Get returns the cached result bytes for key. A disk entry is
+// validated, promoted into memory, and counted as a (disk) hit; invalid
+// disk entries are removed and counted as corrupt misses.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		return el.Value.(*cacheEntry).data, true
+	}
+	if data, ok := c.diskGet(key); ok {
+		c.put(key, data)
+		c.stats.Hits++
+		c.stats.DiskHits++
+		return data, true
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// Put stores the result bytes for key in memory (evicting the
+// least-recently-used entry beyond capacity) and, if configured, on
+// disk. Write errors to disk are ignored: the disk layer is an
+// optimization, not a durability guarantee.
+func (c *Cache) Put(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(key, data)
+	c.diskPut(key, data)
+}
+
+func (c *Cache) put(key string, data []byte) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).data = data
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, data: data})
+	c.items[key] = el
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Contains reports whether key is present in memory or on disk,
+// without touching the hit/miss counters or the LRU order. Used for
+// batch admission control, where a probe is not a lookup.
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	_, ok := c.items[key]
+	c.mu.Unlock()
+	if ok {
+		return true
+	}
+	if c.dir == "" || !isKey(key) {
+		return false
+	}
+	_, err := os.Stat(c.path(key))
+	return err == nil
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	return s
+}
+
+// Len returns the in-memory entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// --- disk layer -----------------------------------------------------------
+
+func (c *Cache) path(key string) string {
+	// Two-character fan-out keeps directories small at scale.
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+func (c *Cache) diskGet(key string) ([]byte, bool) {
+	if c.dir == "" || !isKey(key) {
+		return nil, false
+	}
+	p := c.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	if !validResult(data) {
+		c.stats.Corrupt++
+		os.Remove(p)
+		return nil, false
+	}
+	return data, true
+}
+
+func (c *Cache) diskPut(key string, data []byte) {
+	if c.dir == "" || !isKey(key) {
+		return
+	}
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "."+key+".tmp*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// validResult reports whether data parses as a result JSON document
+// with consistent block/temperature vectors.
+func validResult(data []byte) bool {
+	var r sim.Result
+	return json.Unmarshal(data, &r) == nil
+}

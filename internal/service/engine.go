@@ -1,0 +1,610 @@
+// The job engine: content-addressed job submission with single-flight
+// deduplication, a bounded queue with explicit rejection, per-job
+// timeout/cancellation, worker-pool execution, and queryable job
+// states. One Engine is shared by the HTTP daemon (cmd/pipethermd) and
+// the in-process matrix path (cmd/experiments -cache-dir).
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// JobState is the lifecycle of a job: queued → running → done|failed.
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// ErrQueueFull is returned by Submit when the bounded queue has no room
+// — the engine's explicit 429-style backpressure signal.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrShutdown is returned by Submit after Shutdown has begun, and used
+// to fail jobs abandoned in the queue at shutdown.
+var ErrShutdown = errors.New("service: engine shutting down")
+
+// Job is one submitted cell. All mutable fields are guarded by the
+// engine mutex; callers read them through Status snapshots or after
+// Wait.
+type Job struct {
+	Key string
+	Req Request
+
+	state      JobState
+	cached     bool
+	resultJSON []byte
+	err        error
+	done       chan struct{} // closed on done/failed
+}
+
+// JobStatus is an immutable snapshot of a job, in the wire shape the
+// HTTP API serves. Result holds the exact cached bytes, so identical
+// requests always see byte-identical result JSON.
+type JobStatus struct {
+	Key    string          `json:"key"`
+	State  JobState        `json:"state"`
+	Cached bool            `json:"cached"`
+	Req    Request         `json:"request"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Batch is one submitted experiment matrix, aggregating cell jobs.
+type Batch struct {
+	Key   string
+	Spec  experiments.Spec
+	cells []*Job
+
+	state JobState
+	err   error
+	done  chan struct{}
+}
+
+// BatchStatus is the wire snapshot of a batch.
+type BatchStatus struct {
+	Key        string          `json:"key"`
+	State      JobState        `json:"state"`
+	Experiment string          `json:"experiment"`
+	Error      string          `json:"error,omitempty"`
+	Cells      []BatchCellInfo `json:"cells"`
+}
+
+// BatchCellInfo names one cell of a batch and its current state.
+type BatchCellInfo struct {
+	Key       string   `json:"key"`
+	Benchmark string   `json:"benchmark"`
+	Variant   string   `json:"variant"`
+	State     JobState `json:"state"`
+	Cached    bool     `json:"cached"`
+}
+
+// EngineConfig sizes an engine.
+type EngineConfig struct {
+	// Workers is the simulation worker count; <= 0 means one per CPU
+	// (runner.Resolve semantics).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting to run; <= 0 means 64.
+	// Submissions beyond it fail with ErrQueueFull.
+	QueueDepth int
+	// JobTimeout cancels a single cell run after this long; <= 0 means
+	// no per-job timeout.
+	JobTimeout time.Duration
+	// Cache is the result cache; nil means a small memory-only cache.
+	Cache *Cache
+}
+
+// Metrics is the engine's counter snapshot, served at /metrics.
+type Metrics struct {
+	UptimeSeconds  float64    `json:"uptime_seconds"`
+	JobsQueued     int        `json:"jobs_queued"`
+	JobsRunning    int        `json:"jobs_running"`
+	JobsCompleted  uint64     `json:"jobs_completed"`
+	JobsFailed     uint64     `json:"jobs_failed"`
+	JobsDeduped    uint64     `json:"jobs_deduped"`
+	CacheHits      uint64     `json:"cache_hits"`
+	CacheMisses    uint64     `json:"cache_misses"`
+	CacheEntries   int        `json:"cache_entries"`
+	CellsPerSecond float64    `json:"cells_per_second"`
+	Cache          CacheStats `json:"cache"`
+}
+
+// Engine runs jobs. Create with NewEngine, stop with Shutdown.
+type Engine struct {
+	cache      *Cache
+	queue      chan *Job
+	jobTimeout time.Duration
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	batches map[string]*Batch
+	closed  bool
+
+	closing atomic.Bool
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	start     time.Time
+	running   atomic.Int64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	deduped   atomic.Uint64
+
+	// runCell executes one cell and returns its canonical result JSON.
+	// Tests replace it with a controllable stub; production uses runCell.
+	run func(ctx context.Context, req Request) ([]byte, error)
+}
+
+// NewEngine starts an engine with cfg.Workers simulation workers.
+func NewEngine(cfg EngineConfig) *Engine {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache, _ = NewCache(128, "")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		cache:      cache,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		jobTimeout: cfg.JobTimeout,
+		jobs:       make(map[string]*Job),
+		batches:    make(map[string]*Batch),
+		baseCtx:    ctx,
+		cancel:     cancel,
+		start:      time.Now(),
+		run:        runCell,
+	}
+	workers := runner.Resolve(cfg.Workers, 0)
+	for i := 0; i < workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		if e.closing.Load() {
+			// Graceful shutdown drains *running* jobs; queued ones fail
+			// fast so clients can resubmit elsewhere.
+			e.finish(j, nil, ErrShutdown)
+			continue
+		}
+		e.runJob(j)
+	}
+}
+
+func (e *Engine) runJob(j *Job) {
+	e.mu.Lock()
+	j.state = JobRunning
+	e.mu.Unlock()
+	e.running.Add(1)
+	defer e.running.Add(-1)
+
+	ctx := e.baseCtx
+	if e.jobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.jobTimeout)
+		defer cancel()
+	}
+	data, err := e.run(ctx, j.Req)
+	if err == nil {
+		e.cache.Put(j.Key, data)
+	}
+	e.finish(j, data, err)
+}
+
+func (e *Engine) finish(j *Job, data []byte, err error) {
+	e.mu.Lock()
+	if err != nil {
+		j.state, j.err = JobFailed, err
+	} else {
+		j.state, j.resultJSON = JobDone, data
+	}
+	e.mu.Unlock()
+	if err != nil {
+		e.failed.Add(1)
+	} else {
+		e.completed.Add(1)
+	}
+	close(j.done)
+}
+
+// runCell executes one simulation cell on config.Default() with the
+// request's plan/techniques and returns the canonical result JSON.
+func runCell(ctx context.Context, req Request) ([]byte, error) {
+	req = req.Normalize()
+	cfg := config.Default()
+	cfg.Plan = req.Plan
+	cfg.Techniques = req.Techniques
+	s, err := sim.NewByName(cfg, req.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	s.WarmupInstructions = req.Warmup
+	r, err := s.RunCyclesContext(ctx, req.Cycles)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(r)
+}
+
+// Submit registers the request and returns its job. The fast paths, in
+// order: an identical job already queued or running is shared
+// (single-flight); a cached result completes the job immediately; a
+// known done job is returned as-is. Otherwise the job is enqueued, or
+// ErrQueueFull is returned when the queue is at capacity. A previously
+// failed key is re-enqueued (failures are not cached).
+func (e *Engine) Submit(req Request) (*Job, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	req = req.Normalize()
+	key, err := req.Key()
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.submitLocked(key, req)
+}
+
+func (e *Engine) submitLocked(key string, req Request) (*Job, error) {
+	if e.closed {
+		return nil, ErrShutdown
+	}
+	if j, ok := e.jobs[key]; ok && (j.state == JobQueued || j.state == JobRunning) {
+		e.deduped.Add(1)
+		return j, nil
+	}
+	if data, ok := e.cache.Get(key); ok {
+		j := &Job{Key: key, Req: req, state: JobDone, cached: true, resultJSON: data, done: make(chan struct{})}
+		close(j.done)
+		e.jobs[key] = j
+		return j, nil
+	}
+	if j, ok := e.jobs[key]; ok && j.state == JobDone {
+		// Done but evicted from the cache: still serve the job's bytes.
+		return j, nil
+	}
+	j := &Job{Key: key, Req: req, state: JobQueued, done: make(chan struct{})}
+	select {
+	case e.queue <- j:
+	default:
+		return nil, ErrQueueFull
+	}
+	e.jobs[key] = j
+	return j, nil
+}
+
+// SubmitBatch expands the batch into cell jobs and registers an
+// aggregate batch job. All cells are admitted atomically: if the free
+// queue capacity cannot hold every cell that actually needs to run, the
+// whole batch is rejected with ErrQueueFull and nothing is enqueued.
+func (e *Engine) SubmitBatch(breq BatchRequest) (*Batch, error) {
+	key, err := breq.Key()
+	if err != nil {
+		return nil, err
+	}
+	spec, cells, err := breq.Cells()
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cells {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrShutdown
+	}
+	if b, ok := e.batches[key]; ok && b.state != JobFailed {
+		e.deduped.Add(1)
+		return b, nil
+	}
+
+	// Admission check: count cells that would need a queue slot.
+	need := 0
+	keys := make([]string, len(cells))
+	for i, c := range cells {
+		k, err := c.Key()
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = k
+		j, known := e.jobs[k]
+		inFlight := known && (j.state == JobQueued || j.state == JobRunning || j.state == JobDone)
+		if !inFlight && !e.cache.Contains(k) {
+			need++
+		}
+	}
+	if need > cap(e.queue)-len(e.queue) {
+		return nil, ErrQueueFull
+	}
+
+	b := &Batch{Key: key, Spec: spec, state: JobQueued, done: make(chan struct{})}
+	b.cells = make([]*Job, len(cells))
+	for i, c := range cells {
+		j, err := e.submitLocked(keys[i], c)
+		if err != nil {
+			// Cannot happen after the admission check, but fail closed.
+			b.state, b.err = JobFailed, err
+			close(b.done)
+			e.batches[key] = b
+			return nil, err
+		}
+		b.cells[i] = j
+	}
+	e.batches[key] = b
+	go e.aggregate(b)
+	return b, nil
+}
+
+// aggregate waits for every cell of the batch and settles the batch
+// state: failed with the first (lowest-indexed) cell error, else done.
+func (e *Engine) aggregate(b *Batch) {
+	for _, j := range b.cells {
+		<-j.done
+	}
+	e.mu.Lock()
+	b.state = JobDone
+	for _, j := range b.cells {
+		if j.err != nil {
+			b.state, b.err = JobFailed, j.err
+			break
+		}
+	}
+	e.mu.Unlock()
+	close(b.done)
+}
+
+// Job returns a snapshot of the job for key. Unknown in-memory keys
+// fall back to the cache (content-addressed, so a daemon restarted over
+// a warm disk cache still answers for completed jobs).
+func (e *Engine) Job(key string) (JobStatus, bool) {
+	e.mu.Lock()
+	j, ok := e.jobs[key]
+	if ok {
+		st := e.statusLocked(j)
+		e.mu.Unlock()
+		return st, true
+	}
+	e.mu.Unlock()
+	if !isKey(key) {
+		return JobStatus{}, false
+	}
+	if data, ok := e.cache.Get(key); ok {
+		return JobStatus{Key: key, State: JobDone, Cached: true, Result: data}, true
+	}
+	return JobStatus{}, false
+}
+
+func (e *Engine) statusLocked(j *Job) JobStatus {
+	st := JobStatus{Key: j.Key, State: j.state, Cached: j.cached, Req: j.Req}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.state == JobDone {
+		st.Result = j.resultJSON
+	}
+	return st
+}
+
+// BatchJob returns a snapshot of the batch for key.
+func (e *Engine) BatchJob(key string) (BatchStatus, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b, ok := e.batches[key]
+	if !ok {
+		return BatchStatus{}, false
+	}
+	return e.batchStatusLocked(b), true
+}
+
+func (e *Engine) batchStatusLocked(b *Batch) BatchStatus {
+	st := BatchStatus{Key: b.Key, State: b.state, Experiment: b.Spec.ID}
+	if b.err != nil {
+		st.Error = b.err.Error()
+	}
+	st.Cells = make([]BatchCellInfo, len(b.cells))
+	for i, j := range b.cells {
+		st.Cells[i] = BatchCellInfo{
+			Key: j.Key, Benchmark: j.Req.Benchmark,
+			Variant: variantName(b.Spec, i), State: j.state, Cached: j.cached,
+		}
+	}
+	return st
+}
+
+func variantName(spec experiments.Spec, cellIndex int) string {
+	if len(spec.Variants) == 0 {
+		return ""
+	}
+	return spec.Variants[cellIndex%len(spec.Variants)].Name
+}
+
+// Wait blocks until the job for key settles or ctx is done, and returns
+// the settled snapshot.
+func (e *Engine) Wait(ctx context.Context, key string) (JobStatus, error) {
+	e.mu.Lock()
+	j, ok := e.jobs[key]
+	e.mu.Unlock()
+	if !ok {
+		if st, ok := e.Job(key); ok { // cache fallback
+			return st, nil
+		}
+		return JobStatus{}, fmt.Errorf("service: unknown job %q", key)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.statusLocked(j), nil
+}
+
+// WaitBatch blocks until the batch settles or ctx is done.
+func (e *Engine) WaitBatch(ctx context.Context, key string) (BatchStatus, error) {
+	e.mu.Lock()
+	b, ok := e.batches[key]
+	e.mu.Unlock()
+	if !ok {
+		return BatchStatus{}, fmt.Errorf("service: unknown batch %q", key)
+	}
+	select {
+	case <-b.done:
+	case <-ctx.Done():
+		return BatchStatus{}, ctx.Err()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.batchStatusLocked(b), nil
+}
+
+// BatchMatrix assembles a settled done batch into an experiments.Matrix
+// (cells in serial iteration order, results decoded from the cached
+// JSON), ready for the paper-style report renderers.
+func (e *Engine) BatchMatrix(key string) (*experiments.Matrix, error) {
+	e.mu.Lock()
+	b, ok := e.batches[key]
+	if !ok {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("service: unknown batch %q", key)
+	}
+	if b.state != JobDone {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("service: batch %q is %s", key, b.state)
+	}
+	spec := b.Spec
+	cells := make([]*Job, len(b.cells))
+	copy(cells, b.cells)
+	e.mu.Unlock()
+
+	m := &experiments.Matrix{Spec: spec, Cells: make([]experiments.Cell, len(cells))}
+	for i, j := range cells {
+		var r sim.Result
+		if err := json.Unmarshal(j.resultJSON, &r); err != nil {
+			return nil, fmt.Errorf("service: batch %q cell %d: %w", key, i, err)
+		}
+		m.Cells[i] = experiments.Cell{Benchmark: j.Req.Benchmark, Variant: variantName(spec, i), R: &r}
+	}
+	return m, nil
+}
+
+// RunMatrix runs an experiment spec through the engine: every cell is
+// submitted (cached cells settle instantly) and awaited in serial
+// order, so progress lines and the assembled Matrix are deterministic.
+// This is the path cmd/experiments -cache-dir takes.
+func (e *Engine) RunMatrix(ctx context.Context, spec experiments.Spec, w io.Writer) (*experiments.Matrix, error) {
+	cells := SpecCells(spec)
+	jobs := make([]*Job, len(cells))
+	for i, c := range cells {
+		j, err := e.Submit(c)
+		if err != nil {
+			return nil, fmt.Errorf("service: %s/%s: %w", c.Benchmark, variantName(spec, i), err)
+		}
+		jobs[i] = j
+	}
+	m := &experiments.Matrix{Spec: spec, Cells: make([]experiments.Cell, len(cells))}
+	prog := runner.NewProgress(w, len(cells))
+	for i, j := range jobs {
+		st, err := e.Wait(ctx, j.Key)
+		if err != nil {
+			return nil, err
+		}
+		if st.State != JobDone {
+			return nil, fmt.Errorf("service: %s/%s: %s", j.Req.Benchmark, variantName(spec, i), st.Error)
+		}
+		var r sim.Result
+		if err := json.Unmarshal(st.Result, &r); err != nil {
+			return nil, fmt.Errorf("service: %s/%s: %w", j.Req.Benchmark, variantName(spec, i), err)
+		}
+		m.Cells[i] = experiments.Cell{Benchmark: j.Req.Benchmark, Variant: variantName(spec, i), R: &r}
+		note := ""
+		if st.Cached {
+			note = " (cached)"
+		}
+		prog.Step("%s %-9s %-24s IPC=%.3f stalls=%d%s", spec.ID, j.Req.Benchmark, variantName(spec, i), r.IPC, r.Stalls, note)
+	}
+	return m, nil
+}
+
+// Metrics returns the engine counter snapshot.
+func (e *Engine) Metrics() Metrics {
+	cs := e.cache.Stats()
+	up := time.Since(e.start).Seconds()
+	completed := e.completed.Load()
+	cps := 0.0
+	if up > 0 {
+		cps = float64(completed) / up
+	}
+	return Metrics{
+		UptimeSeconds:  up,
+		JobsQueued:     len(e.queue),
+		JobsRunning:    int(e.running.Load()),
+		JobsCompleted:  completed,
+		JobsFailed:     e.failed.Load(),
+		JobsDeduped:    e.deduped.Load(),
+		CacheHits:      cs.Hits,
+		CacheMisses:    cs.Misses,
+		CacheEntries:   cs.Entries,
+		CellsPerSecond: cps,
+		Cache:          cs,
+	}
+}
+
+// Shutdown stops accepting submissions, lets running jobs drain, and
+// fails jobs still queued. If ctx expires before the drain completes,
+// in-flight runs are cancelled (they stop at their next sensor
+// interval) and Shutdown returns ctx's error; otherwise nil.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.closing.Store(true)
+	close(e.queue) // Submit holds the mutex when sending, so this is safe
+	e.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		e.cancel() // abort in-flight runs
+		<-done
+	}
+	e.cancel()
+	return err
+}

@@ -1,0 +1,40 @@
+// Report rendering for the HTTP API's /report endpoints: a
+// pipetherm-style text block for single cells, and the paper-style
+// table/figure renderers (experiments.Matrix.Report) for batches.
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// CellReport renders one result as the human-readable text block the
+// pipetherm CLI prints: run summary, event counts, and per-block
+// temperatures sorted hottest first.
+func CellReport(r *sim.Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "benchmark    %s\n", r.Benchmark)
+	fmt.Fprintf(&sb, "floorplan    %v\n", r.Plan)
+	fmt.Fprintf(&sb, "techniques   %v\n", r.Techniques)
+	fmt.Fprintf(&sb, "cycles       %d (%d active, %d stalled)\n", r.Cycles, r.ActiveCycles, r.StallCycles)
+	fmt.Fprintf(&sb, "committed    %d instructions\n", r.Committed)
+	fmt.Fprintf(&sb, "IPC          %.3f\n", r.IPC)
+	fmt.Fprintf(&sb, "chip power   %.1f W (average)\n", r.AvgChipPowerW)
+	fmt.Fprintf(&sb, "events       %d cooling stalls, %d IQ toggles (%d int / %d fp), %d ALU turnoffs, %d RF-copy turnoffs\n",
+		r.Stalls, r.IntToggles+r.FPToggles, r.IntToggles, r.FPToggles, r.ALUTurnoffs, r.RFCopyTurnoffs)
+	hot, temp := r.HottestBlock()
+	fmt.Fprintf(&sb, "hottest      %s at %.1f K average\n", hot, temp)
+
+	blocks := r.Blocks()
+	sort.Slice(blocks, func(a, b int) bool {
+		return r.AvgTemp(blocks[a]) > r.AvgTemp(blocks[b])
+	})
+	fmt.Fprintf(&sb, "\nper-block temperatures (avg / peak, K):\n")
+	for _, n := range blocks {
+		fmt.Fprintf(&sb, "  %-10s %7.2f / %7.2f\n", n, r.AvgTemp(n), r.PeakTemp(n))
+	}
+	return sb.String()
+}

@@ -1,0 +1,239 @@
+// The HTTP surface of the job engine, mounted by cmd/pipethermd:
+//
+//	POST /v1/jobs              submit one cell or one batch matrix
+//	GET  /v1/jobs/{id}         job or batch status + result JSON
+//	GET  /v1/jobs/{id}/result  the raw result JSON bytes alone
+//	GET  /v1/jobs/{id}/report  paper-style table / report text
+//	GET  /healthz              liveness
+//	GET  /metrics              engine + cache counters
+//
+// Submission bodies: a cell is {"benchmark","plan","techniques",
+// "cycles","warmup"}; a batch is {"experiment","benchmarks","cycles",
+// "warmup"} (the "experiment" field selects the shape). ?wait=1 blocks
+// until the job settles. A full queue answers 429, invalid requests
+// 400, unknown keys 404.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Server wires the engine into an http.Handler.
+type Server struct {
+	engine *Engine
+	mux    *http.ServeMux
+}
+
+// NewServer returns the HTTP front end for the engine.
+func NewServer(e *Engine) *Server {
+	s := &Server{engine: e, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// submitBody is the union of the two POST /v1/jobs shapes.
+type submitBody struct {
+	// Batch form.
+	Experiment string   `json:"experiment"`
+	Benchmarks []string `json:"benchmarks"`
+	// Cell form (Benchmark alone distinguishes it).
+	Request
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var body submitBody
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	wait := isTrue(r.URL.Query().Get("wait"))
+	if body.Experiment != "" {
+		s.submitBatch(w, r, body, wait)
+		return
+	}
+	s.submitCell(w, r, body.Request, wait)
+}
+
+func (s *Server) submitCell(w http.ResponseWriter, r *http.Request, req Request, wait bool) {
+	j, err := s.engine.Submit(req)
+	if err != nil {
+		httpError(w, submitStatus(err), err)
+		return
+	}
+	if wait {
+		st, err := s.engine.Wait(r.Context(), j.Key)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, jobHTTPStatus(st), st)
+		return
+	}
+	st, _ := s.engine.Job(j.Key)
+	writeJSON(w, jobHTTPStatus(st), st)
+}
+
+func (s *Server) submitBatch(w http.ResponseWriter, r *http.Request, body submitBody, wait bool) {
+	breq := BatchRequest{
+		Experiment: body.Experiment,
+		Benchmarks: body.Benchmarks,
+		Cycles:     body.Cycles,
+		Warmup:     body.Warmup,
+	}
+	b, err := s.engine.SubmitBatch(breq)
+	if err != nil {
+		httpError(w, submitStatus(err), err)
+		return
+	}
+	if wait {
+		st, err := s.engine.WaitBatch(r.Context(), b.Key)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, batchHTTPStatus(st), st)
+		return
+	}
+	st, _ := s.engine.BatchJob(b.Key)
+	writeJSON(w, batchHTTPStatus(st), st)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if st, ok := s.engine.Job(id); ok {
+		writeJSON(w, jobHTTPStatus(st), st)
+		return
+	}
+	if st, ok := s.engine.BatchJob(id); ok {
+		writeJSON(w, batchHTTPStatus(st), st)
+		return
+	}
+	httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.engine.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	if st.State != JobDone {
+		httpError(w, http.StatusConflict, fmt.Errorf("job %q is %s", id, st.State))
+		return
+	}
+	// The exact cached bytes: identical requests get identical responses.
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(st.Result)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if st, ok := s.engine.Job(id); ok {
+		if st.State != JobDone {
+			httpError(w, http.StatusConflict, fmt.Errorf("job %q is %s", id, st.State))
+			return
+		}
+		var res sim.Result
+		if err := json.Unmarshal(st.Result, &res); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, CellReport(&res))
+		return
+	}
+	if st, ok := s.engine.BatchJob(id); ok {
+		if st.State != JobDone {
+			httpError(w, http.StatusConflict, fmt.Errorf("batch %q is %s", id, st.State))
+			return
+		}
+		m, err := s.engine.BatchMatrix(id)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, m.Report())
+		return
+	}
+	httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Metrics())
+}
+
+// --- helpers ---------------------------------------------------------------
+
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShutdown):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func jobHTTPStatus(st JobStatus) int {
+	switch st.State {
+	case JobDone:
+		return http.StatusOK
+	case JobFailed:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusAccepted
+	}
+}
+
+func batchHTTPStatus(st BatchStatus) int {
+	switch st.State {
+	case JobDone:
+		return http.StatusOK
+	case JobFailed:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusAccepted
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func isTrue(s string) bool {
+	switch strings.ToLower(s) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,104 @@
+// JSON serialization of Result. The wire form carries everything the
+// reports consume — including the per-block temperature vectors that are
+// unexported in Result — with stable snake_case keys in declaration
+// order, so marshalling the same Result always yields the same bytes.
+// internal/service stores these bytes in its content-addressed cache and
+// serves them back verbatim, which is what makes "second request returns
+// byte-identical JSON" hold.
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// resultJSON is the wire mirror of Result.
+type resultJSON struct {
+	Benchmark  string                  `json:"benchmark"`
+	Plan       config.FloorplanVariant `json:"plan"`
+	Techniques config.Techniques       `json:"techniques"`
+
+	Committed    uint64  `json:"committed"`
+	Cycles       int64   `json:"cycles"`
+	ActiveCycles int64   `json:"active_cycles"`
+	StallCycles  int64   `json:"stall_cycles"`
+	IPC          float64 `json:"ipc"`
+
+	Stalls            uint64   `json:"stalls"`
+	IntToggles        uint64   `json:"int_toggles"`
+	FPToggles         uint64   `json:"fp_toggles"`
+	ALUTurnoffs       uint64   `json:"alu_turnoffs"`
+	RFCopyTurnoffs    uint64   `json:"rf_copy_turnoffs"`
+	RFTurnoffsPerCopy []uint64 `json:"rf_turnoffs_per_copy"`
+	DVFSEngagements   uint64   `json:"dvfs_engagements"`
+	SlowCycles        int64    `json:"slow_cycles"`
+	AvgChipPowerW     float64  `json:"avg_chip_power_w"`
+
+	Blocks   []string  `json:"blocks"`
+	AvgTempK []float64 `json:"avg_temp_k"`
+	PeakTemp []float64 `json:"peak_temp_k"`
+}
+
+// MarshalJSON encodes the result, temperature vectors included.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(resultJSON{
+		Benchmark:         r.Benchmark,
+		Plan:              r.Plan,
+		Techniques:        r.Techniques,
+		Committed:         r.Committed,
+		Cycles:            r.Cycles,
+		ActiveCycles:      r.ActiveCycles,
+		StallCycles:       r.StallCycles,
+		IPC:               r.IPC,
+		Stalls:            r.Stalls,
+		IntToggles:        r.IntToggles,
+		FPToggles:         r.FPToggles,
+		ALUTurnoffs:       r.ALUTurnoffs,
+		RFCopyTurnoffs:    r.RFCopyTurnoffs,
+		RFTurnoffsPerCopy: r.RFTurnoffsPerCopy,
+		DVFSEngagements:   r.DVFSEngagements,
+		SlowCycles:        r.SlowCycles,
+		AvgChipPowerW:     r.AvgChipPowerW,
+		Blocks:            r.blockNames,
+		AvgTempK:          r.avgTemp,
+		PeakTemp:          r.peakTemp,
+	})
+}
+
+// UnmarshalJSON decodes a result, restoring the unexported temperature
+// vectors; the three block-indexed slices must agree in length.
+func (r *Result) UnmarshalJSON(b []byte) error {
+	var w resultJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	if len(w.Blocks) != len(w.AvgTempK) || len(w.Blocks) != len(w.PeakTemp) {
+		return fmt.Errorf("sim: result JSON has %d blocks but %d avg / %d peak temperatures",
+			len(w.Blocks), len(w.AvgTempK), len(w.PeakTemp))
+	}
+	*r = Result{
+		Benchmark:         w.Benchmark,
+		Plan:              w.Plan,
+		Techniques:        w.Techniques,
+		Committed:         w.Committed,
+		Cycles:            w.Cycles,
+		ActiveCycles:      w.ActiveCycles,
+		StallCycles:       w.StallCycles,
+		IPC:               w.IPC,
+		Stalls:            w.Stalls,
+		IntToggles:        w.IntToggles,
+		FPToggles:         w.FPToggles,
+		ALUTurnoffs:       w.ALUTurnoffs,
+		RFCopyTurnoffs:    w.RFCopyTurnoffs,
+		RFTurnoffsPerCopy: w.RFTurnoffsPerCopy,
+		DVFSEngagements:   w.DVFSEngagements,
+		SlowCycles:        w.SlowCycles,
+		AvgChipPowerW:     w.AvgChipPowerW,
+		blockNames:        w.Blocks,
+		avgTemp:           w.AvgTempK,
+		peakTemp:          w.PeakTemp,
+	}
+	return nil
+}

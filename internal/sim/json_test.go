@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+)
+
+// tinyResult runs a short eon cell and returns its result.
+func tinyResult(t *testing.T) *Result {
+	t.Helper()
+	cfg := config.Default()
+	cfg.Techniques.IQ = config.IQToggle
+	s, err := NewByName(cfg, "eon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.WarmupInstructions = 20_000
+	return s.RunCycles(120_000)
+}
+
+// TestResultJSONRoundTrip checks that a marshalled result decodes to a
+// deep-equal value — unexported temperature vectors included — and that
+// re-marshalling the decoded value reproduces the exact bytes (the
+// service cache depends on byte-stable encoding).
+func TestResultJSONRoundTrip(t *testing.T) {
+	r := tinyResult(t)
+	b1, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Result
+	if err := json.Unmarshal(b1, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, r) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, *r)
+	}
+	for _, blk := range r.Blocks() {
+		if got.AvgTemp(blk) != r.AvgTemp(blk) || got.PeakTemp(blk) != r.PeakTemp(blk) {
+			t.Errorf("%s temperatures diverged through JSON", blk)
+		}
+	}
+	b2, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Error("re-marshalling the decoded result changed the bytes")
+	}
+}
+
+// TestResultJSONRejectsLengthMismatch treats a temperatures/blocks
+// length disagreement as corruption, not silent truncation.
+func TestResultJSONRejectsLengthMismatch(t *testing.T) {
+	var r Result
+	err := json.Unmarshal([]byte(`{"blocks":["A","B"],"avg_temp_k":[1.0],"peak_temp_k":[1.0,2.0]}`), &r)
+	if err == nil || !strings.Contains(err.Error(), "blocks") {
+		t.Fatalf("mismatched vectors accepted: %v", err)
+	}
+}
+
+// TestRunCyclesContextMatchesRunCycles locks the determinism contract:
+// a background context must not perturb the run.
+func TestRunCyclesContextMatchesRunCycles(t *testing.T) {
+	plain := tinyResult(t)
+
+	cfg := config.Default()
+	cfg.Techniques.IQ = config.IQToggle
+	s, err := NewByName(cfg, "eon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.WarmupInstructions = 20_000
+	withCtx, err := s.RunCyclesContext(context.Background(), 120_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, withCtx) {
+		t.Error("RunCyclesContext(background) differs from RunCycles")
+	}
+}
+
+// TestRunCyclesContextCancel checks that a cancelled context stops the
+// run early and surfaces the context error.
+func TestRunCyclesContextCancel(t *testing.T) {
+	cfg := config.Default()
+	s, err := NewByName(cfg, "eon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.WarmupInstructions = 10_000
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	r, err := s.RunCyclesContext(ctx, 1_000_000_000_000) // would run ~forever
+	if err == nil || r != nil {
+		t.Fatalf("cancelled run returned %v, %v", r, err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Minute {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}

@@ -13,6 +13,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/config"
@@ -187,6 +188,21 @@ func (s *Simulator) Run(instructions uint64) *Result {
 // thermal acceleration packs into a few million cycles.
 func (s *Simulator) RunCycles(cycles int64) *Result {
 	return s.run(func() bool { return s.globalCycles < cycles })
+}
+
+// RunCyclesContext is RunCycles with cancellation: the run stops at the
+// next sensor-interval boundary once ctx is done and returns ctx's
+// error with a nil result. With a never-cancelled context it is
+// bit-identical to RunCycles — the context is only consulted between
+// intervals, never inside the simulated machine.
+func (s *Simulator) RunCyclesContext(ctx context.Context, cycles int64) (*Result, error) {
+	r := s.run(func() bool {
+		return s.globalCycles < cycles && ctx.Err() == nil
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 func (s *Simulator) run(more func() bool) *Result {
