@@ -35,6 +35,12 @@ const (
 	benchWarmup = 1_000_000
 )
 
+// avgK reads a block's average temperature for a benchmark metric.
+func avgK(r *sim.Result, block string) float64 {
+	t, _ := r.AvgTemp(block)
+	return t
+}
+
 func runSpec(b *testing.B, spec experiments.Spec) *experiments.Matrix {
 	b.Helper()
 	spec.Cycles = benchCycles
@@ -75,7 +81,8 @@ func BenchmarkTable3IssueEnergy(b *testing.B) {
 			q.Broadcast(2)
 			q.Tick()
 		}
-		joules += q.DrainEnergy(0) + q.DrainEnergy(1)
+		t0, t1 := q.EnergyTotals()
+		joules += t0 + t1
 		insts += q.Issues
 	}
 	b.ReportMetric(joules/float64(insts)*1e9, "nJ/inst")
@@ -90,8 +97,8 @@ func BenchmarkTable4IssueQueueHalves(b *testing.B) {
 		for _, bench := range m.Benchmarks() {
 			for _, v := range []string{"base", "activity-toggling"} {
 				r := m.Get(bench, v)
-				b.ReportMetric(r.AvgTemp(floorplan.IntQ1)-300, bench+"/"+v+"/tailK-300")
-				b.ReportMetric(r.AvgTemp(floorplan.IntQ0)-300, bench+"/"+v+"/headK-300")
+				b.ReportMetric(avgK(r, floorplan.IntQ1)-300, bench+"/"+v+"/tailK-300")
+				b.ReportMetric(avgK(r, floorplan.IntQ0)-300, bench+"/"+v+"/headK-300")
 			}
 		}
 	}
@@ -123,8 +130,8 @@ func BenchmarkTable5ALUTemperatures(b *testing.B) {
 			for _, v := range []string{"round-robin", "fine-grain-turnoff", "base"} {
 				r := m.Get(bench, v)
 				b.ReportMetric(r.IPC, bench+"/"+v+"/IPC")
-				b.ReportMetric(r.AvgTemp("IntExec0")-300, bench+"/"+v+"/ALU0K-300")
-				b.ReportMetric(r.AvgTemp("IntExec5")-300, bench+"/"+v+"/ALU5K-300")
+				b.ReportMetric(avgK(r, "IntExec0")-300, bench+"/"+v+"/ALU0K-300")
+				b.ReportMetric(avgK(r, "IntExec5")-300, bench+"/"+v+"/ALU5K-300")
 			}
 		}
 	}
@@ -158,8 +165,8 @@ func BenchmarkTable6RegfileTemps(b *testing.B) {
 		for _, v := range m.Spec.Variants {
 			r := m.Get("eon", v.Name)
 			b.ReportMetric(r.IPC, v.Name+"/IPC")
-			b.ReportMetric(r.AvgTemp(floorplan.IntReg0)-300, v.Name+"/copy0K-300")
-			b.ReportMetric(r.AvgTemp(floorplan.IntReg1)-300, v.Name+"/copy1K-300")
+			b.ReportMetric(avgK(r, floorplan.IntReg0)-300, v.Name+"/copy0K-300")
+			b.ReportMetric(avgK(r, floorplan.IntReg1)-300, v.Name+"/copy1K-300")
 			var offs float64
 			for _, n := range r.RFTurnoffsPerCopy {
 				offs += float64(n)
@@ -289,7 +296,7 @@ func BenchmarkAblationCompletelyBalanced(b *testing.B) {
 				s.WarmupInstructions = benchWarmup
 				r := s.RunCycles(benchCycles)
 				b.ReportMetric(r.IPC, "IPC")
-				b.ReportMetric(r.AvgTemp(floorplan.IntReg0)-r.AvgTemp(floorplan.IntReg1), "copy-dT")
+				b.ReportMetric(avgK(r, floorplan.IntReg0)-avgK(r, floorplan.IntReg1), "copy-dT")
 			}
 		})
 	}
@@ -332,6 +339,37 @@ func BenchmarkPipelineCycle(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Cycle()
+	}
+}
+
+// BenchmarkSimInterval measures one full sensor interval end to end:
+// 10k pipeline cycles of counter increments, the single Drain that
+// converts event counts to per-block joules, and the thermal RC step.
+// Steady state must stay allocation-free — the drain path writes into
+// caller-owned buffers only.
+func BenchmarkSimInterval(b *testing.B) {
+	cfg := config.Default()
+	s, err := sim.NewByName(cfg, "eon")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Pipe.Warmup(200_000)
+	interval := cfg.SensorIntervalCycles
+	dt := float64(interval) * cfg.ThermalSecondsPerCycle()
+	pow := make([]float64, s.Plan.NumBlocks())
+	// Drive past the working-set growth phase (completion rings, the
+	// committed-memory image) so the measured region is steady state.
+	for c := 0; c < 600_000; c++ {
+		s.Pipe.Cycle()
+	}
+	s.Meter.Drain(600_000, 0, pow)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c := 0; c < interval; c++ {
+			s.Pipe.Cycle()
+		}
+		s.Th.Advance(s.Meter.Drain(interval, 0, pow), dt)
 	}
 }
 
@@ -424,7 +462,7 @@ func BenchmarkAblationNonCompacting(b *testing.B) {
 				s.WarmupInstructions = benchWarmup
 				r := s.RunCycles(benchCycles)
 				b.ReportMetric(r.IPC, "IPC")
-				b.ReportMetric(r.AvgTemp(floorplan.IntQ1)-r.AvgTemp(floorplan.IntQ0), "half-dT")
+				b.ReportMetric(avgK(r, floorplan.IntQ1)-avgK(r, floorplan.IntQ0), "half-dT")
 				b.ReportMetric(float64(r.Stalls), "stalls")
 			}
 		})

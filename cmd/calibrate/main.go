@@ -94,7 +94,6 @@ func main() {
 		for c := 0; c < *cycles; c++ {
 			p.Cycle()
 		}
-		p.DrainEnergies()
 		pow := meter.Drain(*cycles, 0, nil)
 		ss := th.SteadyState(pow)
 		var sb strings.Builder

@@ -3,7 +3,8 @@
 // Usage:
 //
 //	experiments [-cycles N] [-benchmarks a,b,c] [-parallel N]
-//	            [-cache-dir DIR] [table1|table2|table3|table4|table5|table6|fig6|fig7|fig8|all]...
+//	            [-cache-dir DIR] [-detail] [-cpuprofile FILE] [-memprofile FILE]
+//	            [table1|table2|table3|table4|table5|table6|fig6|fig7|fig8|all]...
 //
 // Each matrix's benchmark × technique cells are independent runs; they
 // are fanned out over -parallel workers (0 = one per CPU, 1 = serial).
@@ -33,6 +34,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -69,12 +71,44 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		parallel = fs.Int("parallel", 0, "matrix workers (0 = one per CPU, 1 = serial)")
 		cacheDir = fs.String("cache-dir", "",
 			"run through the job engine with a persistent result cache in DIR; previously computed cells are not re-simulated")
+		detail = fs.Bool("detail", false,
+			"append per-cell utilization telemetry (issue-queue half occupancy, ALU grant shares, RF read shares) after each matrix")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to FILE")
+		memprofile = fs.String("memprofile", "", "write a heap profile to FILE on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
 		}
 		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(stderr, "experiments: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "experiments: %v\n", err)
+			}
+		}()
 	}
 
 	// Validate everything before simulating anything: a typo should
@@ -145,6 +179,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, render(m))
 		if *bars && strings.HasPrefix(spec.ID, "fig") {
 			fmt.Fprintln(stdout, m.BarChart(56))
+		}
+		if *detail {
+			fmt.Fprintln(stdout, m.UtilizationReport())
 		}
 		return nil
 	}

@@ -109,17 +109,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *showTemps {
 		fmt.Fprintln(stdout, "\nper-block temperatures (avg / peak, K):")
+		avg := func(n string) float64 { t, _ := r.AvgTemp(n); return t }
 		names := s.Plan.Blocks
 		idx := make([]int, len(names))
 		for i := range idx {
 			idx[i] = i
 		}
 		sort.Slice(idx, func(a, b int) bool {
-			return r.AvgTemp(names[idx[a]].Name) > r.AvgTemp(names[idx[b]].Name)
+			return avg(names[idx[a]].Name) > avg(names[idx[b]].Name)
 		})
 		for _, i := range idx {
 			n := names[i].Name
-			fmt.Fprintf(stdout, "  %-10s %7.2f / %7.2f\n", n, r.AvgTemp(n), r.PeakTemp(n))
+			peak, _ := r.PeakTemp(n)
+			fmt.Fprintf(stdout, "  %-10s %7.2f / %7.2f\n", n, avg(n), peak)
 		}
 	}
 	return 0

@@ -50,7 +50,8 @@ func main() {
 		}
 		fmt.Printf("%-26s %6.2f %7d %9d  ", p.name, r.IPC, r.Stalls, r.ALUTurnoffs)
 		for u := 0; u < cfg.IntALUs; u++ {
-			fmt.Printf("%6.1f", r.AvgTemp(fmt.Sprintf("IntExec%d", u)))
+			t, _ := r.AvgTemp(fmt.Sprintf("IntExec%d", u))
+			fmt.Printf("%6.1f", t)
 		}
 		if p.alu != config.ALUBase && baseIPC > 0 {
 			fmt.Printf("   (%+.0f%% vs base)", (r.IPC/baseIPC-1)*100)

@@ -35,9 +35,11 @@ func main() {
 	fmt.Printf("%-22s %8s %8s %10s %14s %14s\n",
 		"configuration", "IPC", "stalls", "toggles", "IntQ head (K)", "IntQ tail (K)")
 	for _, r := range []*sim.Result{base, toggled} {
+		head, _ := r.AvgTemp(floorplan.IntQ0)
+		tail, _ := r.AvgTemp(floorplan.IntQ1)
 		fmt.Printf("%-22s %8.3f %8d %10d %14.2f %14.2f\n",
 			r.Techniques.IQ.String(), r.IPC, r.Stalls, r.IntToggles+r.FPToggles,
-			r.AvgTemp(floorplan.IntQ0), r.AvgTemp(floorplan.IntQ1))
+			head, tail)
 	}
 	fmt.Printf("\nspeedup from activity toggling: %+.1f%%\n", (toggled.IPC/base.IPC-1)*100)
 }

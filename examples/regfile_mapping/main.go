@@ -52,9 +52,10 @@ func main() {
 		for _, n := range r.RFTurnoffsPerCopy {
 			offs += n
 		}
+		t0, _ := r.AvgTemp(floorplan.IntReg0)
+		t1, _ := r.AvgTemp(floorplan.IntReg1)
 		fmt.Printf("%-24s %6.2f %7d %10.1f %10.1f %10d\n",
-			c.name, r.IPC, r.Stalls,
-			r.AvgTemp(floorplan.IntReg0), r.AvgTemp(floorplan.IntReg1), offs)
+			c.name, r.IPC, r.Stalls, t0, t1, offs)
 	}
 	fmt.Println("\nExpected ordering (paper Table 6): priority+fgt > balanced+fgt >")
 	fmt.Println("balanced-only > priority-only — priority mapping concentrates reads")

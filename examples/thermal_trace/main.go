@@ -72,7 +72,6 @@ func main() {
 			pipe.Cycle()
 		}
 		cycles += int64(interval)
-		pipe.DrainEnergies()
 		meter.Drain(interval, 0, pow)
 		th.Advance(pow, float64(interval)*spc)
 		thermalMS += float64(interval) * spc * 1000
@@ -85,7 +84,6 @@ func main() {
 				if stall < chunk {
 					chunk = stall
 				}
-				pipe.DrainEnergies()
 				meter.Drain(0, chunk, pow)
 				th.Advance(pow, float64(chunk)*spc)
 				thermalMS += float64(chunk) * spc * 1000

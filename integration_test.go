@@ -42,10 +42,10 @@ func TestPaperShapeALUExperiment(t *testing.T) {
 	// The paper's Table 5 signature: under turnoff the hot ALUs run
 	// hotter than under base (tolerated instead of stalled) and the
 	// low-priority ALUs stay cooler than the hot ones.
-	if fgt.AvgTemp("IntExec0") <= base.AvgTemp("IntExec0") {
+	if avgK(fgt, "IntExec0") <= avgK(base, "IntExec0") {
 		t.Error("fine-grain turnoff should run ALU0 hotter than the stalling base")
 	}
-	if fgt.AvgTemp("IntExec5") >= fgt.AvgTemp("IntExec0") {
+	if avgK(fgt, "IntExec5") >= avgK(fgt, "IntExec0") {
 		t.Error("low-priority ALU not cooler than ALU0 under turnoff")
 	}
 
@@ -87,8 +87,8 @@ func TestPaperShapeRFExperiment(t *testing.T) {
 	if fgtPrio.RFCopyTurnoffs == 0 {
 		t.Fatal("fgt+priority never turned a copy off")
 	}
-	gapPrio := prioOnly.AvgTemp(floorplan.IntReg0) - prioOnly.AvgTemp(floorplan.IntReg1)
-	gapBal := balOnly.AvgTemp(floorplan.IntReg0) - balOnly.AvgTemp(floorplan.IntReg1)
+	gapPrio := avgK(prioOnly, floorplan.IntReg0) - avgK(prioOnly, floorplan.IntReg1)
+	gapBal := avgK(balOnly, floorplan.IntReg0) - avgK(balOnly, floorplan.IntReg1)
 	if gapBal >= gapPrio {
 		t.Fatalf("balanced mapping copy gap %.2f not below priority's %.2f", gapBal, gapPrio)
 	}
@@ -108,8 +108,8 @@ func TestPaperShapeToggling(t *testing.T) {
 	}
 	base := m.Get("gzip", "base")
 	tog := m.Get("gzip", "activity-toggling")
-	baseGap := base.AvgTemp(floorplan.IntQ1) - base.AvgTemp(floorplan.IntQ0)
-	togGap := tog.AvgTemp(floorplan.IntQ1) - tog.AvgTemp(floorplan.IntQ0)
+	baseGap := avgK(base, floorplan.IntQ1) - avgK(base, floorplan.IntQ0)
+	togGap := avgK(tog, floorplan.IntQ1) - avgK(tog, floorplan.IntQ0)
 	if baseGap <= 0 {
 		t.Fatalf("base tail half not hotter than head (gap %.2f)", baseGap)
 	}

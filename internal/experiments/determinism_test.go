@@ -70,11 +70,15 @@ func TestParallelDeterminism(t *testing.T) {
 			t.Errorf("%s: DVFS/power accounting diverged", id)
 		}
 		for _, blk := range a.Blocks() {
-			if a.AvgTemp(blk) != b.AvgTemp(blk) {
-				t.Errorf("%s: %s avg temp %v != %v", id, blk, b.AvgTemp(blk), a.AvgTemp(blk))
+			aAvg, _ := a.AvgTemp(blk)
+			bAvg, _ := b.AvgTemp(blk)
+			if aAvg != bAvg {
+				t.Errorf("%s: %s avg temp %v != %v", id, blk, bAvg, aAvg)
 			}
-			if a.PeakTemp(blk) != b.PeakTemp(blk) {
-				t.Errorf("%s: %s peak temp %v != %v", id, blk, b.PeakTemp(blk), a.PeakTemp(blk))
+			aPeak, _ := a.PeakTemp(blk)
+			bPeak, _ := b.PeakTemp(blk)
+			if aPeak != bPeak {
+				t.Errorf("%s: %s peak temp %v != %v", id, blk, bPeak, aPeak)
 			}
 		}
 		events += int(a.Stalls + a.IntToggles + a.FPToggles)

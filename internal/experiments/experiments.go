@@ -411,6 +411,40 @@ func (m *Matrix) FigureReport() string {
 	return sb.String()
 }
 
+// UtilizationReport renders the per-cell resource-utilization telemetry
+// derived from the event-count stats bus: issue-queue half occupancy,
+// per-ALU grant shares, and per-RF-copy read shares. It is the detail
+// view behind `experiments -detail` — the imbalances it shows are the
+// mechanism the paper's techniques attack (Tables 4-6).
+func (m *Matrix) UtilizationReport() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — utilization detail\n", m.Spec.Title)
+	fmt.Fprintf(&sb, "%-10s %-20s %17s %17s  %-28s %s\n",
+		"benchmark", "technique", "IQ occ (t/h)", "FPQ occ (t/h)", "ALU grant shares", "RF read shares")
+	shareList := func(s []float64) string {
+		parts := make([]string, len(s))
+		for i, v := range s {
+			parts[i] = fmt.Sprintf("%.2f", v)
+		}
+		return strings.Join(parts, " ")
+	}
+	for _, b := range m.Benchmarks() {
+		for _, v := range m.Spec.Variants {
+			r := m.Get(b, v.Name)
+			if r == nil {
+				continue
+			}
+			u := r.Utilization
+			fmt.Fprintf(&sb, "%-10s %-20s %8.2f/%8.2f %8.2f/%8.2f  %-28s %s\n",
+				b, v.Name,
+				u.IntQHalfOcc[1], u.IntQHalfOcc[0],
+				u.FPQHalfOcc[1], u.FPQHalfOcc[0],
+				shareList(u.ALUGrantShare), shareList(u.RFReadShare))
+		}
+	}
+	return sb.String()
+}
+
 // Report renders the matrix in the presentation the paper uses for its
 // experiment ID: the table renderers for table4/5/6, the figure report
 // for everything else.
@@ -424,6 +458,13 @@ func (m *Matrix) Report() string {
 		return m.Table6Report()
 	}
 	return m.FigureReport()
+}
+
+// avgTemp reads a block's average temperature for a report table; a block
+// the result does not carry renders as 0 rather than aborting the report.
+func avgTemp(r *sim.Result, block string) float64 {
+	t, _ := r.AvgTemp(block)
+	return t
 }
 
 // Table4Report renders the paper's Table 4: average temperatures of the
@@ -441,7 +482,7 @@ func (m *Matrix) Table4Report() string {
 			// Physical half 1 is the tail region in the conventional
 			// configuration.
 			fmt.Fprintf(&sb, "%-10s %-20s %9.1f %9.1f\n",
-				b, v, r.AvgTemp("IntQ1"), r.AvgTemp("IntQ0"))
+				b, v, avgTemp(r, "IntQ1"), avgTemp(r, "IntQ0"))
 		}
 	}
 	return sb.String()
@@ -466,7 +507,7 @@ func (m *Matrix) Table5Report() string {
 			}
 			fmt.Fprintf(&sb, "%-10s %-20s %5.1f", b, v, r.IPC)
 			for u := 0; u < 6; u++ {
-				fmt.Fprintf(&sb, "  %7.1f", r.AvgTemp(fmt.Sprintf("IntExec%d", u)))
+				fmt.Fprintf(&sb, "  %7.1f", avgTemp(r, fmt.Sprintf("IntExec%d", u)))
 			}
 			fmt.Fprintln(&sb)
 		}
@@ -492,7 +533,7 @@ func (m *Matrix) Table6Report() string {
 				off += n
 			}
 			fmt.Fprintf(&sb, "%-10s %-16s %5.1f %10.1f %10.1f %10d\n",
-				b, v.Name, r.IPC, r.AvgTemp("IntReg0"), r.AvgTemp("IntReg1"), off)
+				b, v.Name, r.IPC, avgTemp(r, "IntReg0"), avgTemp(r, "IntReg1"), off)
 		}
 	}
 	return sb.String()

@@ -2,14 +2,27 @@ package isa
 
 import "fmt"
 
+// StreamBase is the start of the streaming address region: the trace
+// generator's "cold" accesses walk word by word upward from here, so the
+// region is dense, 8-byte aligned, and written monotonically.
+const StreamBase uint64 = 0x4000_0000
+
 // State is an architectural machine state: the integer and floating-point
 // register files plus data memory. It backs the in-order reference executor
 // used to validate the out-of-order pipeline, and it also supplies the
 // committed memory image that the pipeline's load/store queue reads through.
+//
+// Memory is split by region: the sparse map holds the hot/warm working
+// sets, while aligned addresses at or above StreamBase live in a dense
+// slice indexed by word offset. The streaming region grows one word per
+// access forever, and a map would pay an overflow-bucket allocation for
+// it every few thousand stores — the slice keeps the simulator's commit
+// path allocation-free (amortized) in steady state.
 type State struct {
 	IntReg [NumIntRegs]uint64
 	FPReg  [NumFPRegs]uint64
 	Mem    map[uint64]uint64
+	Stream []uint64
 }
 
 // NewState returns a zeroed architectural state with registers initialized
@@ -26,11 +39,38 @@ func NewState() *State {
 	return s
 }
 
+// streamIdx maps an address to its word index in the dense streaming
+// region, or ok=false for addresses the sparse map owns (below
+// StreamBase, or unaligned).
+func streamIdx(addr uint64) (uint64, bool) {
+	if addr < StreamBase || addr%8 != 0 {
+		return 0, false
+	}
+	return (addr - StreamBase) / 8, true
+}
+
 // ReadMem returns the value at addr (zero if never written).
-func (s *State) ReadMem(addr uint64) uint64 { return s.Mem[addr] }
+func (s *State) ReadMem(addr uint64) uint64 {
+	if idx, ok := streamIdx(addr); ok {
+		if idx < uint64(len(s.Stream)) {
+			return s.Stream[idx]
+		}
+		return 0
+	}
+	return s.Mem[addr]
+}
 
 // WriteMem stores v at addr.
-func (s *State) WriteMem(addr uint64, v uint64) { s.Mem[addr] = v }
+func (s *State) WriteMem(addr uint64, v uint64) {
+	if idx, ok := streamIdx(addr); ok {
+		for uint64(len(s.Stream)) <= idx {
+			s.Stream = append(s.Stream, 0)
+		}
+		s.Stream[idx] = v
+		return
+	}
+	s.Mem[addr] = v
+}
 
 // Exec executes one instruction architecturally, in program order. Branches
 // change no state (trace-driven control flow).
@@ -39,11 +79,11 @@ func (s *State) Exec(in Inst) {
 	case OpLoad:
 		// Trace-driven addressing: the generator resolves the effective
 		// address (Inst.Addr); Src1 still sources the AGU for timing.
-		s.IntReg[in.Dest] = s.Mem[in.Addr]
+		s.IntReg[in.Dest] = s.ReadMem(in.Addr)
 	case OpLoadFP:
-		s.FPReg[in.Dest] = s.Mem[in.Addr]
+		s.FPReg[in.Dest] = s.ReadMem(in.Addr)
 	case OpStore:
-		s.Mem[in.Addr] = s.IntReg[in.Src2]
+		s.WriteMem(in.Addr, s.IntReg[in.Src2])
 	case OpBr, OpNop:
 		// no architectural effect
 	case OpFAdd, OpFMul:
@@ -82,6 +122,22 @@ func (s *State) Diff(o *State) string {
 	for addr, v := range o.Mem {
 		if s.Mem[addr] != v {
 			return fmt.Sprintf("mem[%#x]: %#x vs %#x", addr, s.Mem[addr], v)
+		}
+	}
+	n := len(s.Stream)
+	if len(o.Stream) > n {
+		n = len(o.Stream)
+	}
+	for i := 0; i < n; i++ {
+		var a, b uint64
+		if i < len(s.Stream) {
+			a = s.Stream[i]
+		}
+		if i < len(o.Stream) {
+			b = o.Stream[i]
+		}
+		if a != b {
+			return fmt.Sprintf("mem[%#x]: %#x vs %#x", StreamBase+uint64(i)*8, a, b)
 		}
 	}
 	return ""

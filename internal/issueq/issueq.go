@@ -17,15 +17,29 @@
 // Compaction" energy — the power-density disadvantage the paper
 // deliberately retains.
 //
-// Energy is accumulated per physical *half*, because the two halves are
-// separate floorplan blocks (IntQ0/IntQ1) and their differential heating
-// is the effect activity toggling exploits.
+// Entry states are mirrored into per-state bitmasks (one bit per physical
+// slot), so the per-cycle scans — drain countdown, occupancy, wakeup and
+// select request vectors, hole detection — are popcounts and
+// trailing-zero iterations over sparse masks instead of walks over all
+// entries.
+//
+// Energy is counted per physical *half* on the stats bus, because the two
+// halves are separate floorplan blocks (IntQ0/IntQ1) and their
+// differential heating is the effect activity toggling exploits. Each
+// Table 3 event maps to a bus slot whose per-event constant carries the
+// historical split (for example, a dispatch drives the payload RAM and
+// the dispatch bus: PayloadRAM/2 + LongCompaction/4 to each half, plus
+// LongCompaction/2 to the written half); the only event that is not an
+// integer multiple of a constant — the occupancy-weighted CAM match share
+// of a tag broadcast — uses the bus's raw-energy side channel.
 package issueq
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/power"
+	"repro/internal/stats"
 )
 
 // EntryState is the lifecycle of one queue entry.
@@ -68,12 +82,34 @@ type Queue struct {
 	slots    []entry // indexed by PHYSICAL position
 	idToPhys []int32 // id -> physical position, -1 if absent
 
-	// halfEnergy accumulates joules per physical half since the last
-	// DrainEnergy call; halfEnergyTotal accumulates for the queue's
-	// lifetime (the thermal manager uses deltas to find the half that is
-	// currently being heated).
-	halfEnergy      [2]float64
-	halfEnergyTotal [2]float64
+	// Per-state occupancy bitmasks over physical slots; occMask is the
+	// union of the other three. Maintained incrementally by every state
+	// transition.
+	occMask   uint64
+	waitMask  uint64
+	readyMask uint64
+	drainMask uint64
+
+	allMask uint64 // n low bits
+	loMask  uint64 // bottom physical half
+	hiMask  uint64 // top physical half
+
+	// Event-count slots on the stats bus, one per Table 3 event kind per
+	// physical half. New binds a queue-private bus; the pipeline rebinds
+	// to the power meter's bus with the real floorplan block indices.
+	bus    *stats.Bus
+	ownBus bool
+	sDispatchBase   [2]stats.SlotID // per dispatch, both halves: PayloadRAM/2 + LongCompaction/4
+	sDispatchTarget [2]stats.SlotID // per dispatch, written half: LongCompaction/2
+	sIssue          [2]stats.SlotID // per issue, both halves: (Select + PayloadRAM)/2
+	sTick           [2]stats.SlotID // per cycle, both halves: ClockGating/2
+	sBcastWire      [2]stats.SlotID // per broadcast tag, both halves: TagBroadcastMatch/4
+	sBcastMatch     [2]stats.SlotID // raw joules: occupancy-weighted CAM match share
+	sCounter        [2]stats.SlotID // per ungated entry in a compacting cycle: CounterStage1+2
+	sMoveShort      [2]stats.SlotID // per move, source half: CompactEntryToEntry
+	sMoveWrap       [2]stats.SlotID // per wrap move, source half: LongCompaction
+	sMuxSel         [2]stats.SlotID // per move, destination half: CompactMuxSelect
+	energySlots     [2][]stats.SlotID
 
 	// Statistics.
 	Dispatches   uint64
@@ -86,13 +122,18 @@ type Queue struct {
 	HalfOccupied [2]uint64 // occupied-entry-cycles per half (utilization)
 }
 
-// New builds a queue with n entries (even), compaction width w per cycle,
-// and the given post-issue drain residency in cycles. idSpace bounds the
-// instruction IDs that will be dispatched (IDs are reorder-buffer slots,
-// so this is the active-list size).
+// New builds a queue with n entries (even, at most 64), compaction width w
+// per cycle, and the given post-issue drain residency in cycles. idSpace
+// bounds the instruction IDs that will be dispatched (IDs are
+// reorder-buffer slots, so this is the active-list size). The queue counts
+// events on a private two-block stats bus until BindStats points it at a
+// shared one.
 func New(n, w, drainCycles, idSpace int) *Queue {
 	if n <= 0 || n%2 != 0 {
 		panic(fmt.Sprintf("issueq: %d entries (must be positive and even)", n))
+	}
+	if n > 64 {
+		panic(fmt.Sprintf("issueq: %d entries exceeds the 64-bit occupancy masks", n))
 	}
 	if w <= 0 || drainCycles < 0 || idSpace <= 0 {
 		panic("issueq: bad width/drain/idSpace")
@@ -108,7 +149,44 @@ func New(n, w, drainCycles, idSpace int) *Queue {
 	for i := range q.idToPhys {
 		q.idToPhys[i] = -1
 	}
+	q.allMask = ^uint64(0) >> (64 - uint(n))
+	q.loMask = ^uint64(0) >> (64 - uint(q.half))
+	q.hiMask = q.allMask &^ q.loMask
+	q.bindSlots(stats.NewBus(2), "iq", 0, 1)
+	q.ownBus = true
 	return q
+}
+
+// BindStats re-registers the queue's event slots on the given bus, with
+// the physical halves attributed to floorplan blocks block0 and block1.
+// name prefixes the slot names (the machine has two queues on one bus).
+// Events counted before rebinding stay on the previous bus.
+func (q *Queue) BindStats(bus *stats.Bus, name string, block0, block1 int) {
+	q.bindSlots(bus, name, block0, block1)
+	q.ownBus = false
+}
+
+func (q *Queue) bindSlots(bus *stats.Bus, name string, block0, block1 int) {
+	q.bus = bus
+	blocks := [2]int{block0, block1}
+	for h := 0; h < 2; h++ {
+		b := blocks[h]
+		q.sDispatchBase[h] = bus.Register(name+"_dispatch", b, power.PayloadRAMAccess/2+power.LongCompaction/4)
+		q.sDispatchTarget[h] = bus.Register(name+"_dispatch_target", b, power.LongCompaction/2)
+		q.sIssue[h] = bus.Register(name+"_issue", b, (power.SelectAccess+power.PayloadRAMAccess)/2)
+		q.sTick[h] = bus.Register(name+"_clock_gating", b, power.ClockGatingLogic/2)
+		q.sBcastWire[h] = bus.Register(name+"_bcast_wire", b, power.TagBroadcastMatch/4)
+		q.sBcastMatch[h] = bus.Register(name+"_bcast_match", b, 0)
+		q.sCounter[h] = bus.Register(name+"_counter", b, power.CounterStage1+power.CounterStage2)
+		q.sMoveShort[h] = bus.Register(name+"_move", b, power.CompactEntryToEntry)
+		q.sMoveWrap[h] = bus.Register(name+"_move_wrap", b, power.LongCompaction)
+		q.sMuxSel[h] = bus.Register(name+"_mux_select", b, power.CompactMuxSelect)
+		q.energySlots[h] = []stats.SlotID{
+			q.sDispatchBase[h], q.sDispatchTarget[h], q.sIssue[h], q.sTick[h],
+			q.sBcastWire[h], q.sBcastMatch[h], q.sCounter[h],
+			q.sMoveShort[h], q.sMoveWrap[h], q.sMuxSel[h],
+		}
+	}
 }
 
 // Size returns the number of entries.
@@ -155,37 +233,40 @@ func (q *Queue) halfOf(phys int) int {
 	return 1
 }
 
+// logicalOcc returns the occupancy mask indexed by logical position:
+// bit L set iff the entry at physical (origin+L) mod n is occupied.
+func (q *Queue) logicalOcc() uint64 {
+	if q.origin == 0 {
+		return q.occMask
+	}
+	r := uint(q.origin)
+	return ((q.occMask >> r) | (q.occMask << (uint(q.n) - r))) & q.allMask
+}
+
 // Full reports whether dispatch would fail. The compacting queue can be
 // "full" while holding holes that have not yet compacted below the tail —
 // exactly the transient the real hardware exhibits; the non-compacting
 // queue is full only when every slot is occupied.
 func (q *Queue) Full() bool {
 	if q.nonCompacting {
-		return q.freeSlot() < 0
+		return q.occMask == q.allMask
 	}
 	return q.tail >= q.n
 }
 
 // freeSlot returns the lowest free physical slot, or -1.
 func (q *Queue) freeSlot() int {
-	for i := range q.slots {
-		if q.slots[i].state == Empty {
-			return i
-		}
+	free := ^q.occMask & q.allMask
+	if free == 0 {
+		return -1
 	}
-	return -1
+	return bits.TrailingZeros64(free)
 }
 
 // Occupancy returns the number of occupied (Waiting/Ready/Draining)
 // entries.
 func (q *Queue) Occupancy() int {
-	c := 0
-	for i := range q.slots {
-		if q.slots[i].state != Empty {
-			c++
-		}
-	}
-	return c
+	return bits.OnesCount64(q.occMask)
 }
 
 // Dispatch inserts instruction id at the tail. It returns false if the
@@ -212,16 +293,19 @@ func (q *Queue) Dispatch(id int32) bool {
 		q.tail++
 	}
 	q.slots[p] = entry{id: id, state: Waiting}
+	bit := uint64(1) << uint(p)
+	q.occMask |= bit
+	q.waitMask |= bit
 	q.idToPhys[id] = int32(p)
 	q.Dispatches++
 	// The payload RAM is physically distributed over both halves. The
 	// dispatch bus drives the instruction's fields across the queue to
 	// the tail entry (the paper's §2.1.1 notes dispatch must reach the
-	// middle of the queue in the toggled mode): charge half the drive to
+	// middle of the queue in the toggled mode): half the drive goes to
 	// the written entry's half and the rest to the wire run.
-	q.chargeBoth(power.PayloadRAMAccess)
-	q.charge(q.halfOf(p), power.LongCompaction/2)
-	q.chargeBoth(power.LongCompaction / 2)
+	q.bus.Inc(q.sDispatchBase[0])
+	q.bus.Inc(q.sDispatchBase[1])
+	q.bus.Inc(q.sDispatchTarget[q.halfOf(p)])
 	return true
 }
 
@@ -240,6 +324,9 @@ func (q *Queue) MarkReady(id int32) {
 		panic(fmt.Sprintf("issueq: MarkReady(%d) after issue", id))
 	}
 	e.state = Ready
+	bit := uint64(1) << uint(p)
+	q.waitMask &^= bit
+	q.readyMask |= bit
 }
 
 // Issue transitions instruction id from Ready to Draining and charges the
@@ -257,8 +344,12 @@ func (q *Queue) Issue(id int32) {
 	}
 	e.state = Draining
 	e.drain = q.drainCycles
+	bit := uint64(1) << uint(p)
+	q.readyMask &^= bit
+	q.drainMask |= bit
 	q.Issues++
-	q.chargeBoth(power.SelectAccess + power.PayloadRAMAccess)
+	q.bus.Inc(q.sIssue[0])
+	q.bus.Inc(q.sIssue[1])
 }
 
 // Remove deletes instruction id from the queue immediately (pipeline
@@ -270,10 +361,15 @@ func (q *Queue) Remove(id int32) {
 		return
 	}
 	q.slots[p] = entry{}
+	bit := uint64(1) << uint(p)
+	q.occMask &^= bit
+	q.waitMask &^= bit
+	q.readyMask &^= bit
+	q.drainMask &^= bit
 	q.idToPhys[id] = -1
 	// Reclaim tail slots freed at the top so dispatch can proceed
 	// immediately after a flush (real hardware resets the tail pointer).
-	for q.tail > 0 && q.slots[q.physOf(q.tail-1)].state == Empty {
+	for q.tail > 0 && q.occMask&(1<<uint(q.physOf(q.tail-1))) == 0 {
 		q.tail--
 	}
 }
@@ -286,40 +382,47 @@ func (q *Queue) Broadcast(count int) {
 	if count <= 0 {
 		return
 	}
+	q.bus.IncN(q.sBcastWire[0], uint64(count))
+	q.bus.IncN(q.sBcastWire[1], uint64(count))
 	e := float64(count) * power.TagBroadcastMatch
-	q.chargeBoth(e / 2)
-	occ0, occ1 := 0, 0
-	for i := range q.slots {
-		if q.slots[i].state != Empty {
-			if q.halfOf(i) == 0 {
-				occ0++
-			} else {
-				occ1++
-			}
-		}
-	}
+	occ0 := bits.OnesCount64(q.occMask & q.loMask)
+	occ1 := bits.OnesCount64(q.occMask & q.hiMask)
 	if tot := occ0 + occ1; tot > 0 {
-		q.charge(0, e/2*float64(occ0)/float64(tot))
-		q.charge(1, e/2*float64(occ1)/float64(tot))
+		q.bus.AddEnergy(q.sBcastMatch[0], e/2*float64(occ0)/float64(tot))
+		q.bus.AddEnergy(q.sBcastMatch[1], e/2*float64(occ1)/float64(tot))
 	} else {
-		q.chargeBoth(e / 2)
+		q.bus.AddEnergy(q.sBcastMatch[0], e/4)
+		q.bus.AddEnergy(q.sBcastMatch[1], e/4)
 	}
 }
 
 // Requests fills req (length n, indexed by PHYSICAL position) with the
 // instruction IDs of Ready entries, -1 elsewhere, for the select trees.
+// Hot callers use ReadyMask and IDAt instead.
 func (q *Queue) Requests(req []int32) {
 	if len(req) != q.n {
 		panic("issueq: Requests slice length mismatch")
 	}
 	for i := range req {
-		if q.slots[i].state == Ready {
-			req[i] = q.slots[i].id
-		} else {
-			req[i] = -1
-		}
+		req[i] = -1
+	}
+	for m := q.readyMask; m != 0; m &= m - 1 {
+		p := bits.TrailingZeros64(m)
+		req[p] = q.slots[p].id
 	}
 }
+
+// ReadyMask returns the bit vector of physical positions requesting issue
+// — the select trees' native input.
+func (q *Queue) ReadyMask() uint64 { return q.readyMask }
+
+// WaitMask returns the bit vector of physical positions still waiting for
+// operands — the wakeup scan's native input.
+func (q *Queue) WaitMask() uint64 { return q.waitMask }
+
+// IDAt returns the instruction ID occupying physical position p. Only
+// meaningful for positions set in an occupancy mask.
+func (q *Queue) IDAt(p int) int32 { return q.slots[p].id }
 
 // Tick advances one cycle: decrements drain counters (turning expired
 // Draining entries into holes), performs one compaction pass squeezing up
@@ -327,24 +430,26 @@ func (q *Queue) Requests(req []int32) {
 // accumulates per-half utilization statistics.
 func (q *Queue) Tick() {
 	// Clock-gating control logic runs every cycle for the whole queue.
-	q.chargeBoth(power.ClockGatingLogic)
+	q.bus.Inc(q.sTick[0])
+	q.bus.Inc(q.sTick[1])
 
-	// Drain countdown.
-	for i := range q.slots {
-		e := &q.slots[i]
-		if e.state == Draining {
-			if e.drain > 0 {
-				e.drain--
-			}
-			if e.drain == 0 {
-				q.idToPhys[e.id] = -1
-				*e = entry{}
-			}
+	// Drain countdown over the issued entries only.
+	for m := q.drainMask; m != 0; m &= m - 1 {
+		p := bits.TrailingZeros64(m)
+		e := &q.slots[p]
+		if e.drain > 0 {
+			e.drain--
 		}
-		if e.state != Empty {
-			q.HalfOccupied[q.halfOf(i)]++
+		if e.drain == 0 {
+			q.idToPhys[e.id] = -1
+			*e = entry{}
+			bit := uint64(1) << uint(p)
+			q.drainMask &^= bit
+			q.occMask &^= bit
 		}
 	}
+	q.HalfOccupied[0] += uint64(bits.OnesCount64(q.occMask & q.loMask))
+	q.HalfOccupied[1] += uint64(bits.OnesCount64(q.occMask & q.hiMask))
 
 	if !q.nonCompacting {
 		q.compact()
@@ -360,9 +465,26 @@ func (q *Queue) Tick() {
 // hole additionally clock their invalid-count stages. A move whose
 // physical trajectory wraps across the end of the queue is charged the
 // long-compaction energy instead of the entry-to-entry energy.
+//
+// The scan starts at the lowest logical hole (found by a mask probe):
+// below it nothing moves and nothing is charged, which is exactly what
+// the full scan used to compute there.
 func (q *Queue) compact() {
+	if q.tail == 0 {
+		return
+	}
+	var tailMask uint64
+	if q.tail >= 64 {
+		tailMask = ^uint64(0)
+	} else {
+		tailMask = 1<<uint(q.tail) - 1
+	}
+	holes := ^q.logicalOcc() & tailMask
+	if holes == 0 {
+		return // no holes below the tail: nothing compacts, nothing clocks
+	}
 	removed := 0
-	for readL := 0; readL < q.tail; readL++ {
+	for readL := bits.TrailingZeros64(holes); readL < q.tail; readL++ {
 		p := q.physOf(readL)
 		e := q.slots[p]
 		if e.state == Empty {
@@ -374,11 +496,10 @@ func (q *Queue) compact() {
 			// (their slots are Empty on both ends) and drive no wires.
 			continue
 		}
-		if removed > 0 {
-			// Entries above the lowest squeezed hole are not clock-gated:
-			// their invalid-count stages toggle this cycle.
-			q.charge(q.halfOf(p), power.CounterStage1+power.CounterStage2)
-		}
+		// Entries above the lowest squeezed hole are not clock-gated:
+		// their invalid-count stages toggle this cycle (removed > 0 for
+		// every occupied entry past the first hole).
+		q.bus.Inc(q.sCounter[q.halfOf(p)])
 		dstL := readL - removed
 		if dstL != readL {
 			dstP := q.physOf(dstL)
@@ -386,6 +507,17 @@ func (q *Queue) compact() {
 			q.slots[dstP] = e
 			q.slots[p] = entry{}
 			q.idToPhys[e.id] = int32(dstP)
+			pBit := uint64(1) << uint(p)
+			dBit := uint64(1) << uint(dstP)
+			q.occMask = q.occMask&^pBit | dBit
+			switch e.state {
+			case Waiting:
+				q.waitMask = q.waitMask&^pBit | dBit
+			case Ready:
+				q.readyMask = q.readyMask&^pBit | dBit
+			default:
+				q.drainMask = q.drainMask&^pBit | dBit
+			}
 			q.Moves++
 			srcHalf := q.halfOf(p)
 			q.HalfMoves[srcHalf]++
@@ -393,11 +525,11 @@ func (q *Queue) compact() {
 				// Physically upward move while logically downward: the
 				// wrap-around long compaction of the toggled mode.
 				q.WrapMoves++
-				q.charge(srcHalf, power.LongCompaction)
+				q.bus.Inc(q.sMoveWrap[srcHalf])
 			} else {
-				q.charge(srcHalf, power.CompactEntryToEntry)
+				q.bus.Inc(q.sMoveShort[srcHalf])
 			}
-			q.charge(q.halfOf(dstP), power.CompactMuxSelect)
+			q.bus.Inc(q.sMuxSel[q.halfOf(dstP)])
 		}
 	}
 	if removed > 0 {
@@ -421,48 +553,28 @@ func (q *Queue) Toggle() {
 		q.origin = 0
 	}
 	q.Toggles++
-	q.tail = 0
-	for l := q.n - 1; l >= 0; l-- {
-		if q.slots[q.physOf(l)].state != Empty {
-			q.tail = l + 1
-			break
-		}
-	}
-}
-
-// DrainEnergy returns and clears the energy (joules) accumulated by
-// physical half h since the last call.
-func (q *Queue) DrainEnergy(h int) float64 {
-	e := q.halfEnergy[h]
-	q.halfEnergy[h] = 0
-	return e
-}
-
-func (q *Queue) charge(half int, j float64) {
-	q.halfEnergy[half] += j
-	q.halfEnergyTotal[half] += j
-}
-
-func (q *Queue) chargeBoth(j float64) {
-	q.charge(0, j/2)
-	q.charge(1, j/2)
+	q.tail = bits.Len64(q.logicalOcc())
 }
 
 // EnergyTotals returns the lifetime energy of each physical half in
-// joules. Unlike DrainEnergy it does not reset; the thermal manager
-// differences successive readings to find the actively heated half.
+// joules, summed over the half's bus slots (drained and pending events
+// alike, unscaled). It does not reset; the thermal manager differences
+// successive readings to find the actively heated half.
 func (q *Queue) EnergyTotals() (half0, half1 float64) {
-	return q.halfEnergyTotal[0], q.halfEnergyTotal[1]
+	var t [2]float64
+	for h := 0; h < 2; h++ {
+		for _, s := range q.energySlots[h] {
+			t[h] += q.bus.LifetimeEnergy(s)
+		}
+	}
+	return t[0], t[1]
 }
 
 // Waiting appends the IDs of entries still waiting for operands to dst and
-// returns it; the pipeline's wakeup scan iterates these instead of the
-// whole active list.
+// returns it. Hot callers iterate WaitMask directly.
 func (q *Queue) Waiting(dst []int32) []int32 {
-	for i := range q.slots {
-		if q.slots[i].state == Waiting {
-			dst = append(dst, q.slots[i].id)
-		}
+	for m := q.waitMask; m != 0; m &= m - 1 {
+		dst = append(dst, q.slots[bits.TrailingZeros64(m)].id)
 	}
 	return dst
 }
@@ -500,6 +612,8 @@ func (q *Queue) PhysicalHalfOf(id int32) int {
 }
 
 // Reset empties the queue, returning to mode 0, and clears statistics.
+// When the queue still owns its private stats bus the bus counters are
+// cleared too; a shared bus (bound via BindStats) is left untouched.
 func (q *Queue) Reset() {
 	for i := range q.slots {
 		q.slots[i] = entry{}
@@ -508,8 +622,10 @@ func (q *Queue) Reset() {
 		q.idToPhys[i] = -1
 	}
 	q.origin, q.tail = 0, 0
-	q.halfEnergy = [2]float64{}
-	q.halfEnergyTotal = [2]float64{}
+	q.occMask, q.waitMask, q.readyMask, q.drainMask = 0, 0, 0, 0
+	if q.ownBus {
+		q.bus.Reset()
+	}
 	q.Dispatches, q.Issues, q.Compactions, q.Moves, q.WrapMoves, q.Toggles = 0, 0, 0, 0, 0, 0
 	q.HalfMoves = [2]uint64{}
 	q.HalfOccupied = [2]uint64{}

@@ -11,6 +11,14 @@ import (
 
 func newQ() *Queue { return New(32, 6, 2, 128) }
 
+// drainHalves drains the queue's private stats bus and returns the joules
+// attributed to each physical half since the previous drain.
+func drainHalves(q *Queue) (float64, float64) {
+	dst := make([]float64, 2)
+	q.bus.Drain(dst, 1)
+	return dst[0], dst[1]
+}
+
 // drainTicks runs enough ticks for issued entries to become holes and be
 // compacted away.
 func drainTicks(q *Queue, n int) {
@@ -322,10 +330,12 @@ func TestEnergyAccountingHandComputed(t *testing.T) {
 	q.Dispatch(2)
 	want0 := 3 * (power.PayloadRAMAccess/2 + power.LongCompaction/2 + power.LongCompaction/4)
 	want1 := 3 * (power.PayloadRAMAccess/2 + power.LongCompaction/4)
-	if got := q.halfEnergy[0]; math.Abs(got-want0) > 1e-18 {
+	// Nothing has been drained yet, so EnergyTotals is exactly the pending
+	// per-half energy on the bus.
+	if got, _ := q.EnergyTotals(); math.Abs(got-want0) > 1e-18 {
 		t.Fatalf("half0 after dispatch %.3e, want %.3e", got, want0)
 	}
-	if got := q.halfEnergy[1]; math.Abs(got-want1) > 1e-18 {
+	if _, got := q.EnergyTotals(); math.Abs(got-want1) > 1e-18 {
 		t.Fatalf("half1 after dispatch %.3e, want %.3e", got, want1)
 	}
 	// Issue entry 0: select + payload read, split evenly.
@@ -333,14 +343,14 @@ func TestEnergyAccountingHandComputed(t *testing.T) {
 	q.Issue(0)
 	want0 += (power.SelectAccess + power.PayloadRAMAccess) / 2
 	want1 += (power.SelectAccess + power.PayloadRAMAccess) / 2
-	if got := q.halfEnergy[1]; math.Abs(got-want1) > 1e-18 {
+	if _, got := q.EnergyTotals(); math.Abs(got-want1) > 1e-18 {
 		t.Fatalf("half1 after issue %.3e, want %.3e", got, want1)
 	}
 	// Tick 1: clock gating only (entry still draining).
 	q.Tick()
 	want0 += power.ClockGatingLogic / 2
 	want1 += power.ClockGatingLogic / 2
-	if got := q.halfEnergy[0]; math.Abs(got-want0) > 1e-18 {
+	if got, _ := q.EnergyTotals(); math.Abs(got-want0) > 1e-18 {
 		t.Fatalf("half0 after drain tick %.3e, want %.3e", got, want0)
 	}
 	// Tick 2: hole appears at logical 0 and compacts: entries 1 and 2
@@ -351,40 +361,58 @@ func TestEnergyAccountingHandComputed(t *testing.T) {
 		2*(power.CounterStage1+power.CounterStage2) +
 		2*power.CompactEntryToEntry + 2*power.CompactMuxSelect
 	want1 += power.ClockGatingLogic / 2
-	if got := q.halfEnergy[0]; math.Abs(got-want0) > 1e-18 {
+	if got, _ := q.EnergyTotals(); math.Abs(got-want0) > 1e-18 {
 		t.Fatalf("half0 after compaction %.3e, want %.3e", got, want0)
 	}
-	if got := q.halfEnergy[1]; math.Abs(got-want1) > 1e-18 {
+	if _, got := q.EnergyTotals(); math.Abs(got-want1) > 1e-18 {
 		t.Fatalf("half1 after compaction %.3e, want %.3e", got, want1)
 	}
-	// Lifetime totals mirror the drainable accumulators until a drain.
-	t0, t1 := q.EnergyTotals()
-	if math.Abs(t0-want0) > 1e-18 || math.Abs(t1-want1) > 1e-18 {
-		t.Fatalf("EnergyTotals (%.3e, %.3e), want (%.3e, %.3e)", t0, t1, want0, want1)
+	// Draining the bus converts the pending counts to joules per half and
+	// resets the interval accumulators; lifetime totals survive.
+	d0, d1 := drainHalves(q)
+	if math.Abs(d0-want0) > 1e-18 || math.Abs(d1-want1) > 1e-18 {
+		t.Fatalf("bus drain (%.3e, %.3e), want (%.3e, %.3e)", d0, d1, want0, want1)
 	}
-	// DrainEnergy returns and clears the interval accumulator; lifetime
-	// totals survive.
-	if got := q.DrainEnergy(0); math.Abs(got-want0) > 1e-18 {
-		t.Fatalf("DrainEnergy(0) = %v, want %v", got, want0)
-	}
-	if q.DrainEnergy(0) != 0 {
-		t.Fatal("DrainEnergy did not clear")
+	if d0, d1 = drainHalves(q); d0 != 0 || d1 != 0 {
+		t.Fatal("bus drain did not clear the interval counters")
 	}
 	if t0, _ := q.EnergyTotals(); math.Abs(t0-want0) > 1e-18 {
-		t.Fatal("EnergyTotals reset by DrainEnergy")
+		t.Fatal("EnergyTotals reset by bus drain")
 	}
 }
 
 func TestBroadcastEnergy(t *testing.T) {
 	q := newQ()
 	q.Broadcast(3)
-	want := 3 * power.TagBroadcastMatch / 2
-	if got := q.DrainEnergy(0); math.Abs(got-want) > 1e-18 {
-		t.Fatalf("broadcast energy %v, want %v", got, want)
-	}
 	q.Broadcast(0) // no-op
-	if q.DrainEnergy(1) != want {
+	want := 3 * power.TagBroadcastMatch / 2
+	d0, d1 := drainHalves(q)
+	if math.Abs(d0-want) > 1e-18 {
+		t.Fatalf("broadcast energy %v, want %v", d0, want)
+	}
+	if math.Abs(d1-want) > 1e-18 {
 		t.Fatal("half 1 should match half 0")
+	}
+}
+
+func TestBroadcastMatchFollowsOccupancy(t *testing.T) {
+	// With three entries in half 0 and one in half 1, the CAM match share
+	// of a broadcast splits 3:1; the wire share stays even.
+	q := New(8, 4, 2, 16)
+	for i := int32(0); i < 3; i++ {
+		q.Dispatch(i) // physical 0-2: half 0
+	}
+	q.Dispatch(3)
+	q.Dispatch(4) // physical 4: half 1
+	q.Remove(3)   // leave a hole at physical 3 so halves hold 3 and 1
+	drainHalves(q) // discard dispatch energy
+	q.Broadcast(2)
+	e := 2 * power.TagBroadcastMatch
+	want0 := e/4 + e/2*3/4
+	want1 := e/4 + e/2*1/4
+	d0, d1 := drainHalves(q)
+	if math.Abs(d0-want0) > 1e-18 || math.Abs(d1-want1) > 1e-18 {
+		t.Fatalf("broadcast split (%.3e, %.3e), want (%.3e, %.3e)", d0, d1, want0, want1)
 	}
 }
 
@@ -434,6 +462,7 @@ func TestRemoveAndTailReclaim(t *testing.T) {
 func TestPanics(t *testing.T) {
 	for name, f := range map[string]func(){
 		"odd entries":     func() { New(31, 6, 2, 128) },
+		"too many":        func() { New(66, 6, 2, 128) },
 		"zero width":      func() { New(32, 0, 2, 128) },
 		"double dispatch": func() { q := newQ(); q.Dispatch(1); q.Dispatch(1) },
 		"ready absent":    func() { newQ().MarkReady(3) },
@@ -660,7 +689,8 @@ func TestNonCompactingChargesNoCompactionEnergy(t *testing.T) {
 			}
 			q.Tick()
 		}
-		return q.DrainEnergy(0) + q.DrainEnergy(1)
+		d0, d1 := drainHalves(q)
+		return d0 + d1
 	}
 	compacting, non := run(false), run(true)
 	if non >= compacting {

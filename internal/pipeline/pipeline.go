@@ -13,14 +13,18 @@
 // fetched; a mispredicted branch stalls fetch until it resolves plus the
 // redirect penalty, the standard trace-driven approximation.
 //
-// Every structural event deposits energy: the issue queues and register
-// file accumulate internally (per half / per copy — the granularity the
-// paper's techniques act on) and are drained into the power meter each
-// sensor interval; everything else deposits directly to floorplan blocks.
+// Every structural event increments a slot on the power meter's
+// event-count stats bus (see internal/stats): the hot loop does integer
+// counter adds only, and the counts×constants→joules conversion happens
+// once per sensor interval inside power.Meter.Drain. The issue queues and
+// register file register their own slots at the granularity the paper's
+// techniques act on (per half / per copy); the drained counts also feed
+// the utilization telemetry (Utilization).
 package pipeline
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
@@ -31,6 +35,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/regfile"
 	"repro/internal/seltree"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -87,6 +92,7 @@ type Pipeline struct {
 	intQ, fpQ                     *issueq.Queue
 	intPool, fpAddPool, fpMulPool *seltree.Pool
 	rf                            *regfile.File
+	ebus                          *stats.Bus // the meter's event bus
 
 	// Rename state.
 	ratInt, ratFP   [isa.NumIntRegs]int16
@@ -124,11 +130,15 @@ type Pipeline struct {
 	bFPAdd                                       []int
 	bIntReg                                      []int
 
+	// Event-count slots on the meter's stats bus (see internal/stats).
+	sIcache, sITB, sBpred    stats.SlotID
+	sIntMap, sFPMap          stats.SlotID
+	sLSQ, sDTB, sDcache      stats.SlotID
+	sFPRegRead, sFPRegWrite  stats.SlotID
+	sFPMulOp                 stats.SlotID
+	sIntALU, sIntMul, sFPAdd []stats.SlotID
+
 	// Scratch buffers reused across cycles.
-	waitBuf    []int32
-	reqInt     []int32
-	reqFPAdd   []int32
-	reqFPMul   []int32
 	grantBuf   []seltree.Grant
 	unresolved []storeRef
 
@@ -185,12 +195,17 @@ func New(cfg *config.Config, plan *floorplan.Plan, meter *power.Meter, gen *trac
 		readyFP:      make([]bool, cfg.PhysFPRegs),
 		committedMem: isa.NewState(),
 		portFree:     make([]int64, cfg.L1Ports),
-		reqInt:       make([]int32, cfg.IQEntries),
-		reqFPAdd:     make([]int32, cfg.IQEntries),
-		reqFPMul:     make([]int32, cfg.IQEntries),
 	}
 	p.rob.entries = make([]robEntry, cfg.ActiveList)
 	p.rob.lsq = make([]lsqEntry, cfg.LSQEntries)
+
+	// Pre-size every completion bucket for the worst case (all in-flight
+	// instructions landing on one slot) so schedule() never grows a
+	// bucket mid-run: bucket appends were the last allocation left in the
+	// steady-state cycle loop.
+	for i := range p.completions {
+		p.completions[i] = make([]int32, 0, cfg.ActiveList)
+	}
 
 	// Initial rename map: arch register i lives in physical register i,
 	// seeded with the reference model's initial values.
@@ -231,6 +246,44 @@ func New(cfg *config.Config, plan *floorplan.Plan, meter *power.Meter, gen *trac
 	for c := 0; c < cfg.IntRFCopies; c++ {
 		p.bIntReg[c] = plan.Index(fmt.Sprintf("IntReg%d", c))
 	}
+
+	// Register the pipeline's event slots on the meter's bus and rebind
+	// the structures that carry their own (the issue queues per half, the
+	// register file per copy, the select pools per unit) from their
+	// private buses to the meter's, against real floorplan blocks.
+	bus := meter.Bus()
+	p.ebus = bus
+	p.sIcache = bus.Register("icache_access", p.bIcache, power.ICacheAccess)
+	p.sITB = bus.Register("itb_access", p.bITB, power.TLBAccess)
+	p.sBpred = bus.Register("bpred_access", p.bBpred, power.BpredAccess)
+	p.sIntMap = bus.Register("int_rename", p.bIntMap, power.RenameOp)
+	p.sFPMap = bus.Register("fp_rename", p.bFPMap, power.RenameOp)
+	p.sLSQ = bus.Register("lsq_op", p.bLdStQ, power.LSQOp)
+	p.sDTB = bus.Register("dtb_access", p.bDTB, power.TLBAccess)
+	p.sDcache = bus.Register("dcache_access", p.bDcache, power.DCacheAccess)
+	p.sFPRegRead = bus.Register("fpreg_read", p.bFPReg, power.RFRead)
+	p.sFPRegWrite = bus.Register("fpreg_write", p.bFPReg, power.RFWrite)
+	p.sFPMulOp = bus.Register("fpmul_op", p.bFPMulBlk, power.FPMulOp)
+	p.sIntALU = make([]stats.SlotID, cfg.IntALUs)
+	p.sIntMul = make([]stats.SlotID, cfg.IntALUs)
+	for u := 0; u < cfg.IntALUs; u++ {
+		p.sIntALU[u] = bus.Register(fmt.Sprintf("intalu%d_op", u), p.bIntExec[u], power.IntALUOp)
+		p.sIntMul[u] = bus.Register(fmt.Sprintf("intalu%d_mul", u), p.bIntExec[u], power.IntMulOp)
+	}
+	p.sFPAdd = make([]stats.SlotID, cfg.FPAdders)
+	for u := 0; u < cfg.FPAdders; u++ {
+		p.sFPAdd[u] = bus.Register(fmt.Sprintf("fpadd%d_op", u), p.bFPAdd[u], power.FPAddOp)
+	}
+	p.intQ.BindStats(bus, "intq", p.bIntQ0, p.bIntQ1)
+	p.fpQ.BindStats(bus, "fpq", p.bFPQ0, p.bFPQ1)
+	p.rf.BindStats(bus, p.bIntReg)
+	p.intPool.BindStats(bus, "alu", p.bIntExec)
+	p.fpAddPool.BindStats(bus, "fpadd", p.bFPAdd)
+	fpMulBlocks := make([]int, cfg.FPMuls)
+	for u := range fpMulBlocks {
+		fpMulBlocks[u] = p.bFPMulBlk
+	}
+	p.fpMulPool.BindStats(bus, "fpmul", fpMulBlocks)
 
 	if cfg.Techniques.ALU == config.ALURoundRobin {
 		p.intPool.SetRoundRobin(true)
@@ -358,7 +411,7 @@ func (p *Pipeline) completeStage() {
 				p.physFP[e.destPhys] = e.value
 				p.readyFP[e.destPhys] = true
 				fpTags++
-				p.meter.Deposit(p.bFPReg, power.RFWrite)
+				p.ebus.Inc(p.sFPRegWrite)
 			} else {
 				p.physInt[e.destPhys] = e.value
 				p.readyInt[e.destPhys] = true
@@ -391,7 +444,7 @@ func (p *Pipeline) commitStage() {
 		if e.inst.Op == isa.OpStore {
 			le := &p.rob.lsq[e.lsqIdx]
 			p.committedMem.WriteMem(le.addr, le.data)
-			p.meter.Deposit(p.bDcache, power.DCacheAccess)
+			p.ebus.Inc(p.sDcache)
 		}
 		if e.lsqIdx >= 0 {
 			p.rob.lsqHead = (p.rob.lsqHead + 1) % len(p.rob.lsq)
@@ -422,11 +475,17 @@ func (p *Pipeline) commitStage() {
 // wakeupStage marks queue entries whose operands (and memory ordering
 // constraints) are satisfied as ready to request selection.
 func (p *Pipeline) wakeupStage() {
-	p.waitBuf = p.waitBuf[:0]
-	p.waitBuf = p.intQ.Waiting(p.waitBuf)
-	nInt := len(p.waitBuf)
-	p.waitBuf = p.fpQ.Waiting(p.waitBuf)
-	for i, id := range p.waitBuf {
+	p.wakeQueue(p.intQ)
+	p.wakeQueue(p.fpQ)
+}
+
+// wakeQueue walks q's waiting entries by bit mask. The mask is snapshotted
+// before the walk; MarkReady only clears bits the walk has already
+// consumed, so the iteration is equivalent to the buffered snapshot it
+// replaced (wakeup readiness never depends on other wakeups this cycle).
+func (p *Pipeline) wakeQueue(q *issueq.Queue) {
+	for m := q.WaitMask(); m != 0; m &= m - 1 {
+		id := q.IDAt(bits.TrailingZeros64(m))
 		e := &p.rob.entries[id]
 		if !p.srcReady(e) {
 			continue
@@ -434,11 +493,7 @@ func (p *Pipeline) wakeupStage() {
 		if (e.inst.Op == isa.OpLoad || e.inst.Op == isa.OpLoadFP) && p.loadBlocked(e) {
 			continue
 		}
-		if i < nInt {
-			p.intQ.MarkReady(id)
-		} else {
-			p.fpQ.MarkReady(id)
-		}
+		q.MarkReady(id)
 	}
 }
 
@@ -479,41 +534,45 @@ func (p *Pipeline) srcReady(e *robEntry) bool {
 		(e.src2Phys < 0 || p.readyInt[e.src2Phys])
 }
 
-// issueStage runs the select trees and launches granted instructions into
-// execution.
+// issueStage runs the select trees over the ready bit vectors and launches
+// granted instructions into execution.
 func (p *Pipeline) issueStage() {
-	p.intQ.Requests(p.reqInt)
-	p.fpQ.Requests(p.reqFPAdd)
-	// Split the FP queue's requests by target unit class.
-	for i, id := range p.reqFPAdd {
-		p.reqFPMul[i] = -1
-		if id < 0 {
-			continue
-		}
-		if p.rob.entries[id].inst.Op == isa.OpFMul {
-			p.reqFPMul[i] = id
-			p.reqFPAdd[i] = -1
+	// Split the FP queue's ready entries by target unit class.
+	var addMask, mulMask uint64
+	for m := p.fpQ.ReadyMask(); m != 0; m &= m - 1 {
+		phys := bits.TrailingZeros64(m)
+		if p.rob.entries[p.fpQ.IDAt(phys)].inst.Op == isa.OpFMul {
+			mulMask |= 1 << uint(phys)
+		} else {
+			addMask |= 1 << uint(phys)
 		}
 	}
 
 	budget := p.cfg.IssueWidth
 	p.grantBuf = p.grantBuf[:0]
-	p.grantBuf = p.intPool.Select(p.reqInt, p.grantBuf, budget)
+	p.grantBuf = p.intPool.SelectMask(p.intQ.ReadyMask(), p.grantBuf, budget)
 	nInt := len(p.grantBuf)
 	budget -= nInt
-	p.grantBuf = p.fpAddPool.Select(p.reqFPAdd, p.grantBuf, budget)
+	p.grantBuf = p.fpAddPool.SelectMask(addMask, p.grantBuf, budget)
 	nAdd := len(p.grantBuf) - nInt
 	budget -= nAdd
-	p.grantBuf = p.fpMulPool.Select(p.reqFPMul, p.grantBuf, budget)
+	p.grantBuf = p.fpMulPool.SelectMask(mulMask, p.grantBuf, budget)
 
-	for i, g := range p.grantBuf {
+	// Issue queues do not compact mid-cycle, so physical positions stay
+	// valid between select and issue; read the instruction IDs out of the
+	// payload here (the mask carries none, as in the hardware).
+	for i := range p.grantBuf {
+		g := &p.grantBuf[i]
 		switch {
 		case i < nInt:
-			p.issueInt(g)
+			g.ID = p.intQ.IDAt(g.Phys)
+			p.issueInt(*g)
 		case i < nInt+nAdd:
-			p.issueFPAdd(g)
+			g.ID = p.fpQ.IDAt(g.Phys)
+			p.issueFPAdd(*g)
 		default:
-			p.issueFPMul(g)
+			g.ID = p.fpQ.IDAt(g.Phys)
+			p.issueFPMul(*g)
 		}
 	}
 }
@@ -538,29 +597,29 @@ func (p *Pipeline) issueInt(g seltree.Grant) {
 	var lat int
 	switch e.inst.Op {
 	case isa.OpMul:
-		p.meter.Deposit(p.bIntExec[g.Unit], power.IntMulOp)
+		p.ebus.Inc(p.sIntMul[g.Unit])
 		e.value = isa.ALUResult(e.inst.Op, p.physInt[e.src1Phys], p.physInt[e.src2Phys])
 		lat = p.cfg.IntMulLatency
 	case isa.OpBr:
-		p.meter.Deposit(p.bIntExec[g.Unit], power.IntALUOp)
+		p.ebus.Inc(p.sIntALU[g.Unit])
 		p.Branches++
 		lat = p.cfg.IntALULatency
 	case isa.OpLoad, isa.OpLoadFP:
-		p.meter.Deposit(p.bIntExec[g.Unit], power.IntALUOp) // AGU
-		p.meter.Deposit(p.bLdStQ, power.LSQOp)
-		p.meter.Deposit(p.bDTB, power.TLBAccess)
+		p.ebus.Inc(p.sIntALU[g.Unit]) // AGU
+		p.ebus.Inc(p.sLSQ)
+		p.ebus.Inc(p.sDTB)
 		p.Loads++
 		lat = p.loadLatency(e)
 		e.value = p.loadValue(e)
 	case isa.OpStore:
-		p.meter.Deposit(p.bIntExec[g.Unit], power.IntALUOp) // AGU + data read
-		p.meter.Deposit(p.bLdStQ, power.LSQOp)
-		p.meter.Deposit(p.bDTB, power.TLBAccess)
+		p.ebus.Inc(p.sIntALU[g.Unit]) // AGU + data read
+		p.ebus.Inc(p.sLSQ)
+		p.ebus.Inc(p.sDTB)
 		p.Stores++
 		e.value = p.physInt[e.src2Phys]
 		lat = p.cfg.IntALULatency
 	default:
-		p.meter.Deposit(p.bIntExec[g.Unit], power.IntALUOp)
+		p.ebus.Inc(p.sIntALU[g.Unit])
 		e.value = isa.ALUResult(e.inst.Op, p.physInt[e.src1Phys], p.physInt[e.src2Phys])
 		lat = p.cfg.IntALULatency
 	}
@@ -583,7 +642,7 @@ func (p *Pipeline) loadLatency(e *robEntry) int {
 	}
 	p.portFree[best] = start + 1
 	lat, _ := p.mem.Data(e.inst.Addr)
-	p.meter.Deposit(p.bDcache, power.DCacheAccess)
+	p.ebus.Inc(p.sDcache)
 	return int(start-p.cycle) + lat
 }
 
@@ -617,8 +676,8 @@ func (p *Pipeline) issueFPAdd(g seltree.Grant) {
 	e.state = slotIssued
 	e.unit = int8(g.Unit)
 	p.Issued++
-	p.meter.Deposit(p.bFPAdd[g.Unit], power.FPAddOp)
-	p.meter.Deposit(p.bFPReg, 2*power.RFRead)
+	p.ebus.Inc(p.sFPAdd[g.Unit])
+	p.ebus.IncN(p.sFPRegRead, 2)
 	e.value = isa.ALUResult(e.inst.Op, p.physFP[e.src1Phys], p.physFP[e.src2Phys])
 	p.schedule(g.ID, p.cfg.FPAddLatency)
 }
@@ -629,8 +688,8 @@ func (p *Pipeline) issueFPMul(g seltree.Grant) {
 	e.state = slotIssued
 	e.unit = int8(g.Unit)
 	p.Issued++
-	p.meter.Deposit(p.bFPMulBlk, power.FPMulOp)
-	p.meter.Deposit(p.bFPReg, 2*power.RFRead)
+	p.ebus.Inc(p.sFPMulOp)
+	p.ebus.IncN(p.sFPRegRead, 2)
 	e.value = isa.ALUResult(e.inst.Op, p.physFP[e.src1Phys], p.physFP[e.src2Phys])
 	p.schedule(g.ID, p.cfg.FPMulLatency)
 }
@@ -696,8 +755,8 @@ func (p *Pipeline) frontendStage() {
 		if line != p.curLine {
 			p.curLine = line
 			lat, lvl := p.mem.Inst(in.PC)
-			p.meter.Deposit(p.bIcache, power.ICacheAccess)
-			p.meter.Deposit(p.bITB, power.TLBAccess)
+			p.ebus.Inc(p.sIcache)
+			p.ebus.Inc(p.sITB)
 			if lvl != cache.LevelL1 {
 				// Fetch stalls for the miss; resume when the line
 				// arrives.
@@ -709,7 +768,7 @@ func (p *Pipeline) frontendStage() {
 		// Branch prediction at fetch (trace-driven redirect model).
 		endGroup := false
 		if in.Op.IsBranch() {
-			p.meter.Deposit(p.bBpred, power.BpredAccess)
+			p.ebus.Inc(p.sBpred)
 			p.bp.Predict(in.PC)
 			miss := p.bp.Update(in.PC, in.Taken, in.Target)
 			if miss {
@@ -747,7 +806,7 @@ func (p *Pipeline) dispatch(in isa.Inst, fp bool) {
 	// Rename sources through the map table of the queue's side (FP loads
 	// source their address from the integer file).
 	if fp {
-		p.meter.Deposit(p.bFPMap, power.RenameOp)
+		p.ebus.Inc(p.sFPMap)
 		if in.Src1 != isa.NoReg {
 			e.src1Phys = p.ratFP[in.Src1]
 		}
@@ -755,7 +814,7 @@ func (p *Pipeline) dispatch(in isa.Inst, fp bool) {
 			e.src2Phys = p.ratFP[in.Src2]
 		}
 	} else {
-		p.meter.Deposit(p.bIntMap, power.RenameOp)
+		p.ebus.Inc(p.sIntMap)
 		if in.Src1 != isa.NoReg {
 			e.src1Phys = p.ratInt[in.Src1]
 		}
@@ -790,7 +849,7 @@ func (p *Pipeline) dispatch(in isa.Inst, fp bool) {
 		p.rob.lsqTail = (p.rob.lsqTail + 1) % len(p.rob.lsq)
 		p.rob.lsqCount++
 		e.lsqIdx = l
-		p.meter.Deposit(p.bLdStQ, power.LSQOp)
+		p.ebus.Inc(p.sLSQ)
 	}
 
 	if fp {
@@ -802,17 +861,51 @@ func (p *Pipeline) dispatch(in isa.Inst, fp bool) {
 	p.rob.count++
 }
 
-// DrainEnergies moves the accumulated per-half issue-queue energy and
-// per-copy register-file energy into the power meter; the simulator calls
-// it once per sensor interval.
-func (p *Pipeline) DrainEnergies() {
-	p.meter.Deposit(p.bIntQ0, p.intQ.DrainEnergy(0))
-	p.meter.Deposit(p.bIntQ1, p.intQ.DrainEnergy(1))
-	p.meter.Deposit(p.bFPQ0, p.fpQ.DrainEnergy(0))
-	p.meter.Deposit(p.bFPQ1, p.fpQ.DrainEnergy(1))
-	for c := 0; c < p.rf.Copies(); c++ {
-		p.meter.Deposit(p.bIntReg[c], p.rf.DrainEnergy(c))
+// Utilization is the resource-usage telemetry derived from the same event
+// counters that drive the energy model: how unevenly the paper's three
+// structures are being used. Shares are fractions of the structure's total
+// activity (they sum to 1 when there is any activity; all-zero otherwise).
+type Utilization struct {
+	// IntQHalfOcc and FPQHalfOcc are the average per-cycle occupancy of
+	// each physical issue-queue half, in entries.
+	IntQHalfOcc [2]float64 `json:"intq_half_occupancy"`
+	FPQHalfOcc  [2]float64 `json:"fpq_half_occupancy"`
+	// ALUGrantShare is each integer ALU's share of all integer grants —
+	// the select-priority asymmetry behind Table 5.
+	ALUGrantShare []float64 `json:"alu_grant_share"`
+	// RFReadShare is each integer register-file copy's share of reads —
+	// the port asymmetry behind Table 6.
+	RFReadShare []float64 `json:"rf_read_share"`
+}
+
+// Utilization reports the lifetime utilization statistics.
+func (p *Pipeline) Utilization() Utilization {
+	var u Utilization
+	if p.cycle > 0 {
+		for h := 0; h < 2; h++ {
+			u.IntQHalfOcc[h] = float64(p.intQ.HalfOccupied[h]) / float64(p.cycle)
+			u.FPQHalfOcc[h] = float64(p.fpQ.HalfOccupied[h]) / float64(p.cycle)
+		}
 	}
+	u.ALUGrantShare = shares(p.intPool.Grants)
+	u.RFReadShare = shares(p.rf.Reads)
+	return u
+}
+
+// shares converts event counts to fractions of their sum.
+func shares(counts []uint64) []float64 {
+	out := make([]float64, len(counts))
+	var tot uint64
+	for _, c := range counts {
+		tot += c
+	}
+	if tot == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(tot)
+	}
+	return out
 }
 
 // Drain stops fetch and runs the core until the active list empties,
@@ -844,6 +937,7 @@ func (p *Pipeline) ArchState() *isa.State {
 	for k, v := range p.committedMem.Mem {
 		s.Mem[k] = v
 	}
+	s.Stream = append([]uint64(nil), p.committedMem.Stream...)
 	return s
 }
 

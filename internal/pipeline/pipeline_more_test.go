@@ -223,7 +223,7 @@ func TestWarmupImprovesShortRunIPC(t *testing.T) {
 	}
 }
 
-func TestDrainEnergiesIdempotentWhenIdle(t *testing.T) {
+func TestMeterDrainIdempotentWhenIdle(t *testing.T) {
 	cfg := config.Default()
 	prof, _ := trace.ByName("eon")
 	p, meter := newPipe(cfg, prof)
@@ -231,16 +231,14 @@ func TestDrainEnergiesIdempotentWhenIdle(t *testing.T) {
 	for p.Fetched < 1_000 {
 		p.Cycle()
 	}
-	p.DrainEnergies()
 	before := meter.TotalChipEnergy()
 	meter.Drain(100, 0, nil)
 	after := meter.TotalChipEnergy()
 	// Second drain right away adds only idle energy, not re-counted events.
-	p.DrainEnergies()
 	meter.Drain(100, 0, nil)
 	second := meter.TotalChipEnergy() - after
 	if second >= after-before {
-		t.Fatalf("repeated DrainEnergies re-deposited event energy: %.3e vs %.3e", second, after-before)
+		t.Fatalf("repeated meter drain re-deposited event energy: %.3e vs %.3e", second, after-before)
 	}
 }
 

@@ -296,7 +296,7 @@ func TestBalancedMappingSpreadsReads(t *testing.T) {
 	}
 }
 
-func TestDrainEnergiesDepositToMeter(t *testing.T) {
+func TestMeterDrainDepositsEventEnergy(t *testing.T) {
 	cfg := config.Default()
 	prof, _ := trace.ByName("eon")
 	p, meter := newPipe(cfg, prof)
@@ -305,7 +305,6 @@ func TestDrainEnergiesDepositToMeter(t *testing.T) {
 	for p.Fetched < 5_000 {
 		p.Cycle()
 	}
-	p.DrainEnergies()
 	pw := meter.Drain(int(p.Cycles()), 0, nil)
 	plan := floorplan.Build(cfg.Plan)
 	for _, name := range []string{floorplan.IntQ0, floorplan.IntQ1, floorplan.IntReg0, "IntExec0", floorplan.ICache} {

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/floorplan"
+	"repro/internal/stats"
 )
 
 // Table 3: issue energy by component, in joules. Names mirror the paper's
@@ -83,12 +84,15 @@ const (
 )
 
 // Meter accumulates per-block energy over a sensor interval and converts
-// it to average power for the thermal model.
+// it to average power for the thermal model. It owns the event-count stats
+// bus: hot-loop structures register slots on Bus() and increment them; the
+// counts×constants→joules conversion happens here, once per Drain.
 type Meter struct {
 	plan     *floorplan.Plan
 	cycleSec float64
 	scale    float64 // energy multiplier (DVFS voltage scaling)
 
+	bus    *stats.Bus
 	energy []float64 // joules deposited this interval, per block
 	total  []float64 // lifetime joules per block
 	area   []float64 // cached block areas
@@ -103,6 +107,7 @@ func NewMeter(plan *floorplan.Plan, cfg *config.Config) *Meter {
 		plan:     plan,
 		cycleSec: cfg.CycleSeconds(),
 		scale:    1,
+		bus:      stats.NewBus(plan.NumBlocks()),
 		energy:   make([]float64, plan.NumBlocks()),
 		total:    make([]float64, plan.NumBlocks()),
 		area:     make([]float64, plan.NumBlocks()),
@@ -112,6 +117,11 @@ func NewMeter(plan *floorplan.Plan, cfg *config.Config) *Meter {
 	}
 	return m
 }
+
+// Bus returns the meter's event-count bus. Structures register slots
+// against floorplan block indices and increment them in the hot loop;
+// Drain folds the pending counts into the interval energy.
+func (m *Meter) Bus() *stats.Bus { return m.bus }
 
 // Deposit adds joules of dynamic energy to block i for the current
 // interval, scaled by the current energy scale.
@@ -149,6 +159,11 @@ func (m *Meter) Drain(activeCycles, stallCycles int, dst []float64) []float64 {
 	if cycles <= 0 {
 		panic("power: Drain over empty interval")
 	}
+	// Fold the interval's event counts into per-block joules first. The
+	// energy scale is constant within an interval (the simulator sets it
+	// before running the interval), so applying it here is exact, not an
+	// approximation of per-event scaling.
+	m.bus.Drain(m.energy, m.scale)
 	seconds := float64(cycles) * m.cycleSec
 	aSec := float64(activeCycles) * m.cycleSec
 	sSec := float64(stallCycles) * m.cycleSec
@@ -184,12 +199,13 @@ func (m *Meter) AvgChipPower() float64 {
 	return m.TotalChipEnergy() / (float64(m.TotalCycles) * m.cycleSec)
 }
 
-// Reset clears all accumulators.
+// Reset clears all accumulators, including the bus counters.
 func (m *Meter) Reset() {
 	for i := range m.energy {
 		m.energy[i] = 0
 		m.total[i] = 0
 	}
+	m.bus.Reset()
 	m.TotalCycles = 0
 }
 

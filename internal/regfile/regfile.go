@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/power"
+	"repro/internal/stats"
 )
 
 // File is a set of integer register-file copies with a fixed read-port
@@ -41,7 +42,9 @@ type File struct {
 	stale     []bool
 	physRegs  int
 
-	energy []float64 // joules per copy since last drain
+	bus        *stats.Bus
+	readSlots  []stats.SlotID // per copy
+	writeSlots []stats.SlotID // per copy
 
 	// Statistics.
 	Reads         []uint64 // per copy
@@ -66,11 +69,18 @@ func New(copies, alus int, mapping config.RFMapping, policy config.RFWritePolicy
 		aluToCopy:     make([]int, alus),
 		off:           make([]bool, copies),
 		stale:         make([]bool, copies),
-		energy:        make([]float64, copies),
 		Reads:         make([]uint64, copies),
 		Writes:        make([]uint64, copies),
 		TurnoffEvents: make([]uint64, copies),
 	}
+	// Bind a file-private bus (one block per copy) so the charge paths
+	// never branch on telemetry; the pipeline rebinds to the meter's bus
+	// with real floorplan block indices.
+	blocks := make([]int, copies)
+	for c := range blocks {
+		blocks[c] = c
+	}
+	f.BindStats(stats.NewBus(copies), blocks)
 	perCopy := alus / copies
 	for a := 0; a < alus; a++ {
 		switch mapping {
@@ -121,13 +131,13 @@ func (f *File) ChargeRead(a, operands int) {
 	}
 	c := f.aluToCopy[a]
 	if c >= 0 {
-		f.energy[c] += float64(operands) * power.RFRead
+		f.bus.IncN(f.readSlots[c], uint64(operands))
 		f.Reads[c] += uint64(operands)
 		return
 	}
 	for i := 0; i < operands; i++ {
 		cc := i % f.copies
-		f.energy[cc] += power.RFRead
+		f.bus.Inc(f.readSlots[cc])
 		f.Reads[cc]++
 	}
 }
@@ -141,7 +151,7 @@ func (f *File) ChargeWrite() {
 			f.stale[c] = true
 			continue
 		}
-		f.energy[c] += power.RFWrite
+		f.bus.Inc(f.writeSlots[c])
 		f.Writes[c]++
 	}
 }
@@ -161,7 +171,7 @@ func (f *File) SetOff(c int, off bool) {
 		return
 	}
 	if f.stale[c] {
-		f.energy[c] += float64(f.physRegs) * power.RFWrite
+		f.bus.IncN(f.writeSlots[c], uint64(f.physRegs))
 		f.Writes[c] += uint64(f.physRegs)
 		f.stale[c] = false
 		f.RestoreCopies++
@@ -190,11 +200,21 @@ func (f *File) AllOff() bool {
 	return true
 }
 
-// DrainEnergy returns and clears the accumulated joules of copy c.
-func (f *File) DrainEnergy(c int) float64 {
-	e := f.energy[c]
-	f.energy[c] = 0
-	return e
+// BindStats registers per-copy read and write slots on bus, attributed to
+// blocks[c]. Reads cost power.RFRead per port access and writes
+// power.RFWrite per copy written; the bus does the multiplication at drain
+// time.
+func (f *File) BindStats(bus *stats.Bus, blocks []int) {
+	if len(blocks) != f.copies {
+		panic(fmt.Sprintf("regfile: %d stat blocks for %d copies", len(blocks), f.copies))
+	}
+	f.bus = bus
+	f.readSlots = make([]stats.SlotID, f.copies)
+	f.writeSlots = make([]stats.SlotID, f.copies)
+	for c := 0; c < f.copies; c++ {
+		f.readSlots[c] = bus.Register(fmt.Sprintf("rf%d_read", c), blocks[c], power.RFRead)
+		f.writeSlots[c] = bus.Register(fmt.Sprintf("rf%d_write", c), blocks[c], power.RFWrite)
+	}
 }
 
 // TurnoffThreshold returns the temperature at which a copy should be

@@ -9,6 +9,14 @@ import (
 	"repro/internal/power"
 )
 
+// drainCopies drains the file's private stats bus and returns the joules
+// attributed to each copy since the previous drain.
+func drainCopies(f *File) []float64 {
+	dst := make([]float64, f.copies)
+	f.bus.Drain(dst, 1)
+	return dst
+}
+
 func TestPriorityMapping(t *testing.T) {
 	f := New(2, 6, config.MapPriority, config.WriteMargin, 160)
 	want := []int{0, 0, 0, 1, 1, 1}
@@ -58,10 +66,10 @@ func TestReadChargingPerCopyMapping(t *testing.T) {
 		t.Fatalf("reads %v/%v", f.Reads[0], f.Reads[1])
 	}
 	want0 := 2 * power.RFRead
-	if got := f.DrainEnergy(0); math.Abs(got-want0) > 1e-18 {
+	if got := drainCopies(f)[0]; math.Abs(got-want0) > 1e-18 {
 		t.Fatalf("copy0 energy %v, want %v", got, want0)
 	}
-	if f.DrainEnergy(0) != 0 {
+	if drainCopies(f)[0] != 0 {
 		t.Fatal("drain did not clear")
 	}
 }
@@ -77,7 +85,7 @@ func TestReadChargingCompletelyBalancedSplits(t *testing.T) {
 func TestZeroOperandReadNoop(t *testing.T) {
 	f := New(2, 6, config.MapPriority, config.WriteMargin, 160)
 	f.ChargeRead(0, 0)
-	if f.Reads[0] != 0 || f.DrainEnergy(0) != 0 {
+	if f.Reads[0] != 0 || drainCopies(f)[0] != 0 {
 		t.Fatal("zero-operand read charged")
 	}
 }
@@ -116,7 +124,7 @@ func TestCopyOnCoolStalenessAndRestore(t *testing.T) {
 	if !f.Stale(1) {
 		t.Fatal("missed writes did not mark copy stale")
 	}
-	f.DrainEnergy(1)
+	drainCopies(f)
 	f.SetOff(1, false)
 	if f.Stale(1) {
 		t.Fatal("restore did not clear staleness")
@@ -129,7 +137,7 @@ func TestCopyOnCoolStalenessAndRestore(t *testing.T) {
 		t.Fatalf("refresh wrote %d regs", f.Writes[1])
 	}
 	want := 160 * power.RFWrite
-	if got := f.DrainEnergy(1); math.Abs(got-want) > 1e-15 {
+	if got := drainCopies(f)[1]; math.Abs(got-want) > 1e-15 {
 		t.Fatalf("refresh energy %v, want %v", got, want)
 	}
 	if !f.Readable(1) {

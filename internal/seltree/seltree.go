@@ -21,6 +21,8 @@ package seltree
 import (
 	"fmt"
 	"math/bits"
+
+	"repro/internal/stats"
 )
 
 // Arity is the fan-in of the L1/L2 arbiter nodes (Figure 2 shows 4-input
@@ -47,6 +49,9 @@ type Pool struct {
 
 	busy []bool // per-unit busy (thermal turnoff or structural)
 
+	bus        *stats.Bus
+	grantSlots []stats.SlotID // one zero-joule slot per unit
+
 	// Grants counts lifetime grants per unit — the utilization asymmetry
 	// statistic behind Table 5.
 	Grants []uint64
@@ -65,13 +70,40 @@ func NewPool(entries, units int) *Pool {
 	if units <= 0 {
 		panic("seltree: no units")
 	}
-	return &Pool{
+	p := &Pool{
 		entries: entries,
 		units:   units,
 		busy:    make([]bool, units),
 		Grants:  make([]uint64, units),
 	}
+	// Bind a pool-private bus so the grant path never branches on whether
+	// telemetry is attached; the pipeline rebinds to the meter's bus.
+	blocks := make([]int, units)
+	for u := range blocks {
+		blocks[u] = u
+	}
+	p.BindStats(stats.NewBus(units), "unit", blocks)
+	return p
 }
+
+// BindStats registers one zero-joule grant slot per unit on bus, attributed
+// to blocks[u]. Grant energy is charged by the issue queue (select access)
+// and the execution stage (ALU op), so these slots exist purely as event
+// counters for the utilization telemetry.
+func (p *Pool) BindStats(bus *stats.Bus, name string, blocks []int) {
+	if len(blocks) != p.units {
+		panic(fmt.Sprintf("seltree: %d stat blocks for %d units", len(blocks), p.units))
+	}
+	p.bus = bus
+	p.grantSlots = make([]stats.SlotID, p.units)
+	for u := range p.grantSlots {
+		p.grantSlots[u] = bus.Register(fmt.Sprintf("%s%d_grant", name, u), blocks[u], 0)
+	}
+}
+
+// GrantCount returns unit u's lifetime grant count as seen by the stats
+// bus; it tracks Grants[u] and survives bus drains.
+func (p *Pool) GrantCount(u int) uint64 { return p.bus.LifetimeCount(p.grantSlots[u]) }
 
 // Units returns the number of functional units (trees).
 func (p *Pool) Units() int { return p.units }
@@ -131,6 +163,20 @@ func (p *Pool) Select(req []int32, grants []Grant, maxGrants int) []Grant {
 			reqMask |= 1 << uint(i)
 		}
 	}
+	start := len(grants)
+	grants = p.SelectMask(reqMask, grants, maxGrants)
+	for i := start; i < len(grants); i++ {
+		grants[i].ID = req[grants[i].Phys]
+	}
+	return grants
+}
+
+// SelectMask is the bit-vector form of Select: reqMask has one bit set per
+// requesting physical entry. Grants carry ID -1; callers that track
+// instruction IDs fill them from their own payload (the mask has no room
+// for them, which is also true of the hardware select tree — the payload
+// RAM is read after select, not during).
+func (p *Pool) SelectMask(reqMask uint64, grants []Grant, maxGrants int) []Grant {
 	issued := 0
 	for t := 0; t < p.units; t++ {
 		if maxGrants >= 0 && issued >= maxGrants {
@@ -151,7 +197,8 @@ func (p *Pool) Select(req []int32, grants []Grant, maxGrants int) []Grant {
 		}
 		reqMask &^= 1 << uint(phys)
 		p.Grants[unit]++
-		grants = append(grants, Grant{Unit: unit, Phys: phys, ID: req[phys]})
+		p.bus.Inc(p.grantSlots[unit])
+		grants = append(grants, Grant{Unit: unit, Phys: phys, ID: -1})
 		issued++
 	}
 	return grants

@@ -11,12 +11,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/pipeline"
 	"repro/internal/runner"
 	"repro/internal/sim"
 )
@@ -122,6 +124,37 @@ type Metrics struct {
 	CacheEntries   int        `json:"cache_entries"`
 	CellsPerSecond float64    `json:"cells_per_second"`
 	Cache          CacheStats `json:"cache"`
+
+	// Runtime is the Go runtime health section: memory, GC, and
+	// goroutine gauges for the serving process.
+	Runtime RuntimeMetrics `json:"runtime"`
+	// Utilization averages the per-cell pipeline utilization telemetry
+	// over every cell this process simulated (cache hits are excluded:
+	// their telemetry was accounted when they were first computed,
+	// possibly by an earlier process sharing the cache directory).
+	Utilization UtilizationMetrics `json:"utilization"`
+}
+
+// RuntimeMetrics is the Go runtime section of /metrics.
+type RuntimeMetrics struct {
+	Goroutines      int     `json:"goroutines"`
+	NumCPU          int     `json:"num_cpu"`
+	HeapAllocBytes  uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes    uint64  `json:"heap_sys_bytes"`
+	TotalAllocBytes uint64  `json:"total_alloc_bytes"`
+	GCCycles        uint32  `json:"gc_cycles"`
+	GCPauseTotalMS  float64 `json:"gc_pause_total_ms"`
+}
+
+// UtilizationMetrics is the mean of sim results' Utilization over the
+// cells this engine simulated. Share vectors are element-wise means, so
+// they still sum to ~1 when every cell had activity.
+type UtilizationMetrics struct {
+	Cells         uint64     `json:"cells"`
+	IntQHalfOcc   [2]float64 `json:"intq_half_occupancy"`
+	FPQHalfOcc    [2]float64 `json:"fpq_half_occupancy"`
+	ALUGrantShare []float64  `json:"alu_grant_share"`
+	RFReadShare   []float64  `json:"rf_read_share"`
 }
 
 // Engine runs jobs. Create with NewEngine, stop with Shutdown.
@@ -145,6 +178,13 @@ type Engine struct {
 	completed atomic.Uint64
 	failed    atomic.Uint64
 	deduped   atomic.Uint64
+
+	// Utilization accumulator over freshly simulated cells (sums; the
+	// Metrics snapshot divides by utilN). Guarded by utilMu, not the job
+	// mutex: finish() folds results in from worker goroutines.
+	utilMu  sync.Mutex
+	utilN   uint64
+	utilSum UtilizationMetrics
 
 	// runCell executes one cell and returns its canonical result JSON.
 	// Tests replace it with a controllable stub; production uses runCell.
@@ -225,8 +265,37 @@ func (e *Engine) finish(j *Job, data []byte, err error) {
 		e.failed.Add(1)
 	} else {
 		e.completed.Add(1)
+		var r sim.Result
+		if json.Unmarshal(data, &r) == nil {
+			e.addUtilization(r.Utilization)
+		}
 	}
 	close(j.done)
+}
+
+// addUtilization folds one freshly simulated cell's utilization
+// telemetry into the engine-wide accumulator behind /metrics.
+func (e *Engine) addUtilization(u pipeline.Utilization) {
+	e.utilMu.Lock()
+	defer e.utilMu.Unlock()
+	e.utilN++
+	for h := 0; h < 2; h++ {
+		e.utilSum.IntQHalfOcc[h] += u.IntQHalfOcc[h]
+		e.utilSum.FPQHalfOcc[h] += u.FPQHalfOcc[h]
+	}
+	e.utilSum.ALUGrantShare = addVec(e.utilSum.ALUGrantShare, u.ALUGrantShare)
+	e.utilSum.RFReadShare = addVec(e.utilSum.RFReadShare, u.RFReadShare)
+}
+
+// addVec accumulates b into a element-wise, growing a as needed.
+func addVec(a, b []float64) []float64 {
+	for len(a) < len(b) {
+		a = append(a, 0)
+	}
+	for i, v := range b {
+		a[i] += v
+	}
+	return a
 }
 
 // runCell executes one simulation cell on config.Default() with the
@@ -562,6 +631,8 @@ func (e *Engine) Metrics() Metrics {
 	if up > 0 {
 		cps = float64(completed) / up
 	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	return Metrics{
 		UptimeSeconds:  up,
 		JobsQueued:     len(e.queue),
@@ -574,7 +645,44 @@ func (e *Engine) Metrics() Metrics {
 		CacheEntries:   cs.Entries,
 		CellsPerSecond: cps,
 		Cache:          cs,
+		Runtime: RuntimeMetrics{
+			Goroutines:      runtime.NumGoroutine(),
+			NumCPU:          runtime.NumCPU(),
+			HeapAllocBytes:  ms.HeapAlloc,
+			HeapSysBytes:    ms.HeapSys,
+			TotalAllocBytes: ms.TotalAlloc,
+			GCCycles:        ms.NumGC,
+			GCPauseTotalMS:  float64(ms.PauseTotalNs) / 1e6,
+		},
+		Utilization: e.utilizationSnapshot(),
 	}
+}
+
+// utilizationSnapshot averages the accumulated per-cell telemetry.
+func (e *Engine) utilizationSnapshot() UtilizationMetrics {
+	e.utilMu.Lock()
+	defer e.utilMu.Unlock()
+	out := UtilizationMetrics{Cells: e.utilN}
+	if e.utilN == 0 {
+		return out
+	}
+	n := float64(e.utilN)
+	for h := 0; h < 2; h++ {
+		out.IntQHalfOcc[h] = e.utilSum.IntQHalfOcc[h] / n
+		out.FPQHalfOcc[h] = e.utilSum.FPQHalfOcc[h] / n
+	}
+	out.ALUGrantShare = scaleVec(e.utilSum.ALUGrantShare, 1/n)
+	out.RFReadShare = scaleVec(e.utilSum.RFReadShare, 1/n)
+	return out
+}
+
+// scaleVec returns a copy of v with every element multiplied by k.
+func scaleVec(v []float64, k float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x * k
+	}
+	return out
 }
 
 // Shutdown stops accepting submissions, lets running jobs drain, and

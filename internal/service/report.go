@@ -28,13 +28,15 @@ func CellReport(r *sim.Result) string {
 	hot, temp := r.HottestBlock()
 	fmt.Fprintf(&sb, "hottest      %s at %.1f K average\n", hot, temp)
 
+	avg := func(n string) float64 { t, _ := r.AvgTemp(n); return t }
 	blocks := r.Blocks()
 	sort.Slice(blocks, func(a, b int) bool {
-		return r.AvgTemp(blocks[a]) > r.AvgTemp(blocks[b])
+		return avg(blocks[a]) > avg(blocks[b])
 	})
 	fmt.Fprintf(&sb, "\nper-block temperatures (avg / peak, K):\n")
 	for _, n := range blocks {
-		fmt.Fprintf(&sb, "  %-10s %7.2f / %7.2f\n", n, r.AvgTemp(n), r.PeakTemp(n))
+		peak, _ := r.PeakTemp(n)
+		fmt.Fprintf(&sb, "  %-10s %7.2f / %7.2f\n", n, avg(n), peak)
 	}
 	return sb.String()
 }

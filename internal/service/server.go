@@ -5,7 +5,9 @@
 //	GET  /v1/jobs/{id}/result  the raw result JSON bytes alone
 //	GET  /v1/jobs/{id}/report  paper-style table / report text
 //	GET  /healthz              liveness
-//	GET  /metrics              engine + cache counters
+//	GET  /metrics              engine + cache + Go-runtime counters and
+//	                           aggregated pipeline-utilization telemetry
+//	GET  /debug/pprof/         live CPU/heap/goroutine profiling
 //
 // Submission bodies: a cell is {"benchmark","plan","techniques",
 // "cycles","warmup"}; a batch is {"experiment","benchmarks","cycles",
@@ -19,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 
 	"repro/internal/sim"
@@ -39,6 +42,13 @@ func NewServer(e *Engine) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Live profiling: a long matrix run can be inspected in place with
+	// `go tool pprof http://host/debug/pprof/profile`.
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s
 }
 

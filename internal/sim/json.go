@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/pipeline"
 )
 
 // resultJSON is the wire mirror of Result.
@@ -35,6 +36,8 @@ type resultJSON struct {
 	DVFSEngagements   uint64   `json:"dvfs_engagements"`
 	SlowCycles        int64    `json:"slow_cycles"`
 	AvgChipPowerW     float64  `json:"avg_chip_power_w"`
+
+	Utilization pipeline.Utilization `json:"utilization"`
 
 	Blocks   []string  `json:"blocks"`
 	AvgTempK []float64 `json:"avg_temp_k"`
@@ -61,6 +64,7 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		DVFSEngagements:   r.DVFSEngagements,
 		SlowCycles:        r.SlowCycles,
 		AvgChipPowerW:     r.AvgChipPowerW,
+		Utilization:       r.Utilization,
 		Blocks:            r.blockNames,
 		AvgTempK:          r.avgTemp,
 		PeakTemp:          r.peakTemp,
@@ -96,9 +100,14 @@ func (r *Result) UnmarshalJSON(b []byte) error {
 		DVFSEngagements:   w.DVFSEngagements,
 		SlowCycles:        w.SlowCycles,
 		AvgChipPowerW:     w.AvgChipPowerW,
+		Utilization:       w.Utilization,
 		blockNames:        w.Blocks,
 		avgTemp:           w.AvgTempK,
 		peakTemp:          w.PeakTemp,
+	}
+	r.blockIdx = make(map[string]int, len(w.Blocks))
+	for i, n := range w.Blocks {
+		r.blockIdx[n] = i
 	}
 	return nil
 }

@@ -42,7 +42,11 @@ func TestResultJSONRoundTrip(t *testing.T) {
 		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, *r)
 	}
 	for _, blk := range r.Blocks() {
-		if got.AvgTemp(blk) != r.AvgTemp(blk) || got.PeakTemp(blk) != r.PeakTemp(blk) {
+		ga, gaOK := got.AvgTemp(blk)
+		ra, _ := r.AvgTemp(blk)
+		gp, gpOK := got.PeakTemp(blk)
+		rp, _ := r.PeakTemp(blk)
+		if !gaOK || !gpOK || ga != ra || gp != rp {
 			t.Errorf("%s temperatures diverged through JSON", blk)
 		}
 	}

@@ -48,6 +48,7 @@ type Simulator struct {
 	tempPeak    []float64
 	tempSamples int
 	powBuf      []float64
+	tempBuf     []float64
 }
 
 // New builds a simulator for the profile under the configuration. The
@@ -75,6 +76,7 @@ func New(cfg *config.Config, prof trace.Profile) (*Simulator, error) {
 		tempSum:  make([]float64, plan.NumBlocks()),
 		tempPeak: make([]float64, plan.NumBlocks()),
 		powBuf:   make([]float64, plan.NumBlocks()),
+		tempBuf:  make([]float64, plan.NumBlocks()),
 	}, nil
 }
 
@@ -114,7 +116,12 @@ type Result struct {
 	SlowCycles      int64
 	AvgChipPowerW   float64
 
+	// Utilization is the pipeline's resource-usage telemetry, derived from
+	// the same event counters that drive the energy model.
+	Utilization pipeline.Utilization
+
 	blockNames []string
+	blockIdx   map[string]int
 	avgTemp    []float64
 	peakTemp   []float64
 }
@@ -129,24 +136,25 @@ func (r *Result) Blocks() []string {
 
 // AvgTemp returns the named block's temperature averaged over non-stalled
 // sensor samples, matching the paper's "averaged across the execution time
-// (non-overheated time)".
-func (r *Result) AvgTemp(block string) float64 {
-	for i, n := range r.blockNames {
-		if n == block {
-			return r.avgTemp[i]
-		}
+// (non-overheated time)". The second return is false when the result
+// carries no block of that name (e.g. a per-unit block on a different
+// floorplan variant).
+func (r *Result) AvgTemp(block string) (float64, bool) {
+	i, ok := r.blockIdx[block]
+	if !ok {
+		return 0, false
 	}
-	panic("sim: unknown block " + block)
+	return r.avgTemp[i], true
 }
 
-// PeakTemp returns the named block's maximum sampled temperature.
-func (r *Result) PeakTemp(block string) float64 {
-	for i, n := range r.blockNames {
-		if n == block {
-			return r.peakTemp[i]
-		}
+// PeakTemp returns the named block's maximum sampled temperature; the
+// second return is false for an unknown block.
+func (r *Result) PeakTemp(block string) (float64, bool) {
+	i, ok := r.blockIdx[block]
+	if !ok {
+		return 0, false
 	}
-	panic("sim: unknown block " + block)
+	return r.peakTemp[i], true
 }
 
 // HottestBlock returns the name and average temperature of the block with
@@ -222,7 +230,6 @@ func (s *Simulator) run(more func() bool) *Result {
 	warmed := 0
 	for i := 0; i < thermalWarmIntervals && more(); i++ {
 		s.runInterval(interval)
-		s.Pipe.DrainEnergies()
 		s.Meter.Drain(interval, 0, s.powBuf)
 		for b := range warmPow {
 			warmPow[b] += s.powBuf[b]
@@ -249,7 +256,6 @@ func (s *Simulator) run(more func() bool) *Result {
 			s.Meter.SetEnergyScale(1)
 		}
 		s.runIntervalScaled(interval, div)
-		s.Pipe.DrainEnergies()
 		pow := s.Meter.Drain(interval, 0, s.powBuf)
 		if div > 1 {
 			// The same energy spread over div times the wall time.
@@ -294,7 +300,6 @@ func (s *Simulator) coolingStall(cycles int) {
 		if cycles < chunk {
 			chunk = cycles
 		}
-		s.Pipe.DrainEnergies()
 		pow := s.Meter.Drain(0, chunk, s.powBuf)
 		s.Th.Advance(pow, float64(chunk)*secPerCycle)
 		s.globalCycles += int64(chunk)
@@ -330,7 +335,7 @@ func (s *Simulator) warmStartBelowThreshold(pow []float64) {
 // sampleTemps accumulates the per-block average (over non-stalled samples)
 // and peak temperatures.
 func (s *Simulator) sampleTemps() {
-	temps := s.Th.Temps(s.powBuf) // powBuf is free between intervals
+	temps := s.Th.Temps(s.tempBuf)
 	for b, t := range temps {
 		s.tempSum[b] += t
 		if t > s.tempPeak[b] {
@@ -342,8 +347,10 @@ func (s *Simulator) sampleTemps() {
 
 func (s *Simulator) result() *Result {
 	names := make([]string, s.Plan.NumBlocks())
+	idx := make(map[string]int, s.Plan.NumBlocks())
 	for i, b := range s.Plan.Blocks {
 		names[i] = b.Name
+		idx[b.Name] = i
 	}
 	avg := make([]float64, len(s.tempSum))
 	for i := range avg {
@@ -380,7 +387,9 @@ func (s *Simulator) result() *Result {
 		DVFSEngagements:   s.Mgr.DVFSEngagements,
 		SlowCycles:        s.slowCycles,
 		AvgChipPowerW:     s.Meter.AvgChipPower(),
+		Utilization:       s.Pipe.Utilization(),
 		blockNames:        names,
+		blockIdx:          idx,
 		avgTemp:           avg,
 		peakTemp:          peak,
 	}

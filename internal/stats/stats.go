@@ -1,0 +1,150 @@
+// Package stats provides the allocation-free event-count bus that carries
+// activity information out of the cycle-level hot loop. Hardware power
+// models scale by counting events and multiplying by per-event energy
+// constants once per sampling interval, rather than tapping an energy
+// accumulator at every event; this package is that counter plane.
+//
+// A Bus owns a flat slice of uint64 slot counters. Each slot is registered
+// once at construction time with a floorplan block index and a per-event
+// energy constant; the hot loop then increments slots (Inc/IncN, a single
+// indexed add — no floating point, no interface calls, no allocation).
+// Once per sensor interval, Drain folds every slot into a per-block joule
+// vector as count × joulesPerEvent × scale and resets the interval
+// counters, so the energy math runs O(slots) per interval instead of
+// O(events).
+//
+// Events whose energy is not an integer multiple of a constant (for
+// example an occupancy-weighted CAM match term) use the per-slot AddEnergy
+// side channel, which accumulates raw joules and is drained with the same
+// scale factor.
+//
+// Lifetime counts and energies survive draining (LifetimeCount /
+// LifetimeEnergy include both drained totals and the still-pending
+// interval), so consumers that difference successive readings — the
+// thermal manager's activity detection, the utilization telemetry — share
+// the same counters the energy model uses.
+package stats
+
+import "fmt"
+
+// SlotID names one registered (block, event-kind) counter on a Bus.
+type SlotID int32
+
+// Bus is a fixed-slot event-count accumulator. Register all slots up
+// front; the per-cycle operations never allocate.
+type Bus struct {
+	counts []uint64  // events this interval, per slot
+	extra  []float64 // raw joules this interval (fractional events)
+	joules []float64 // energy per event, per slot
+	block  []int32   // floorplan block index, per slot
+	names  []string
+
+	countTotal []uint64  // lifetime drained+pending counts
+	extraTotal []float64 // lifetime drained raw joules
+
+	nblocks int
+	drains  uint64
+}
+
+// NewBus returns an empty bus whose slots may target block indices
+// 0..nblocks-1.
+func NewBus(nblocks int) *Bus {
+	if nblocks <= 0 {
+		panic("stats: bus needs at least one block")
+	}
+	return &Bus{nblocks: nblocks}
+}
+
+// Register adds a slot attributed to the given floorplan block, worth
+// joulesPerEvent per counted event, and returns its ID. Names are
+// informational (debugging and tests); they need not be unique.
+func (b *Bus) Register(name string, block int, joulesPerEvent float64) SlotID {
+	if block < 0 || block >= b.nblocks {
+		panic(fmt.Sprintf("stats: slot %q block %d out of range [0,%d)", name, block, b.nblocks))
+	}
+	if joulesPerEvent < 0 {
+		panic(fmt.Sprintf("stats: slot %q has negative energy", name))
+	}
+	id := SlotID(len(b.counts))
+	b.counts = append(b.counts, 0)
+	b.extra = append(b.extra, 0)
+	b.joules = append(b.joules, joulesPerEvent)
+	b.block = append(b.block, int32(block))
+	b.names = append(b.names, name)
+	b.countTotal = append(b.countTotal, 0)
+	b.extraTotal = append(b.extraTotal, 0)
+	return id
+}
+
+// Inc counts one event on slot s.
+func (b *Bus) Inc(s SlotID) { b.counts[s]++ }
+
+// IncN counts n events on slot s.
+func (b *Bus) IncN(s SlotID, n uint64) { b.counts[s] += n }
+
+// AddEnergy deposits raw joules on slot s (the fractional-event side
+// channel); drained with the same scale as counted events.
+func (b *Bus) AddEnergy(s SlotID, j float64) { b.extra[s] += j }
+
+// Drain converts every slot's pending events into joules — count ×
+// joulesPerEvent × scale, plus the raw-energy channel × scale — adds them
+// to dst indexed by block, rolls the counts into the lifetime totals, and
+// resets the interval accumulators. dst must have one element per block.
+func (b *Bus) Drain(dst []float64, scale float64) {
+	if len(dst) != b.nblocks {
+		panic(fmt.Sprintf("stats: Drain dst length %d, want %d", len(dst), b.nblocks))
+	}
+	for i := range b.counts {
+		c, x := b.counts[i], b.extra[i]
+		if c == 0 && x == 0 {
+			continue
+		}
+		dst[b.block[i]] += (float64(c)*b.joules[i] + x) * scale
+		b.countTotal[i] += c
+		b.extraTotal[i] += x
+		b.counts[i] = 0
+		b.extra[i] = 0
+	}
+	b.drains++
+}
+
+// Drains returns the number of Drain calls (sensor intervals closed).
+func (b *Bus) Drains() uint64 { return b.drains }
+
+// NumSlots returns the number of registered slots.
+func (b *Bus) NumSlots() int { return len(b.counts) }
+
+// Name returns slot s's registration name.
+func (b *Bus) Name(s SlotID) string { return b.names[s] }
+
+// Block returns slot s's floorplan block index.
+func (b *Bus) Block(s SlotID) int { return int(b.block[s]) }
+
+// JoulesPerEvent returns slot s's per-event energy constant.
+func (b *Bus) JoulesPerEvent(s SlotID) float64 { return b.joules[s] }
+
+// LifetimeCount returns slot s's total events, drained and pending.
+func (b *Bus) LifetimeCount(s SlotID) uint64 {
+	return b.countTotal[s] + b.counts[s]
+}
+
+// LifetimeEnergy returns slot s's total unscaled joules, drained and
+// pending. Consumers difference successive readings for per-interval
+// activity; the DVFS energy scale is a drain-time concern and does not
+// apply here (matching the historical accumulate-unscaled semantics of
+// the structure-private energy counters this bus replaced).
+func (b *Bus) LifetimeEnergy(s SlotID) float64 {
+	return float64(b.countTotal[s]+b.counts[s])*b.joules[s] + b.extraTotal[s] + b.extra[s]
+}
+
+// Reset zeroes every interval and lifetime accumulator, keeping the slot
+// registrations.
+func (b *Bus) Reset() {
+	for i := range b.counts {
+		b.counts[i] = 0
+		b.extra[i] = 0
+		b.countTotal[i] = 0
+		b.extraTotal[i] = 0
+	}
+	b.drains = 0
+}

@@ -1,0 +1,172 @@
+package stats_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/stats"
+)
+
+func TestSlotAttributionPerTable3Constant(t *testing.T) {
+	// One slot per Table 3 constant, spread over four blocks; counts are
+	// distinct primes so misattribution cannot cancel out.
+	constants := []struct {
+		name string
+		j    float64
+	}{
+		{"compact_entry_to_entry", power.CompactEntryToEntry},
+		{"compact_mux_select", power.CompactMuxSelect},
+		{"long_compaction", power.LongCompaction},
+		{"counter_stage1", power.CounterStage1},
+		{"counter_stage2", power.CounterStage2},
+		{"clock_gating_logic", power.ClockGatingLogic},
+		{"tag_broadcast_match", power.TagBroadcastMatch},
+		{"payload_ram_access", power.PayloadRAMAccess},
+		{"select_access", power.SelectAccess},
+	}
+	counts := []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23}
+	const nblocks = 4
+
+	b := stats.NewBus(nblocks)
+	slots := make([]stats.SlotID, len(constants))
+	for i, c := range constants {
+		slots[i] = b.Register(c.name, i%nblocks, c.j)
+	}
+	for i, s := range slots {
+		b.IncN(s, counts[i])
+	}
+
+	want := make([]float64, nblocks)
+	for i, c := range constants {
+		want[i%nblocks] += float64(counts[i]) * c.j
+	}
+	got := make([]float64, nblocks)
+	b.Drain(got, 1)
+	for blk := range want {
+		if math.Abs(got[blk]-want[blk]) > 1e-21 {
+			t.Errorf("block %d drained %.6e J, want %.6e J", blk, got[blk], want[blk])
+		}
+	}
+	for i, s := range slots {
+		if b.LifetimeCount(s) != counts[i] {
+			t.Errorf("slot %s lifetime count %d, want %d", b.Name(s), b.LifetimeCount(s), counts[i])
+		}
+		wantE := float64(counts[i]) * constants[i].j
+		if math.Abs(b.LifetimeEnergy(s)-wantE) > 1e-21 {
+			t.Errorf("slot %s lifetime energy %.6e, want %.6e", b.Name(s), b.LifetimeEnergy(s), wantE)
+		}
+	}
+}
+
+func TestDrainResetsAndAccumulatesInto(t *testing.T) {
+	b := stats.NewBus(2)
+	s0 := b.Register("a", 0, 2e-9)
+	s1 := b.Register("b", 1, 3e-9)
+	b.IncN(s0, 10)
+	b.Inc(s1)
+
+	dst := []float64{1, 1} // Drain must add, not overwrite
+	b.Drain(dst, 1)
+	if dst[0] != 1+10*2e-9 || dst[1] != 1+3e-9 {
+		t.Fatalf("drained %v", dst)
+	}
+	if b.Drains() != 1 {
+		t.Fatalf("drains %d", b.Drains())
+	}
+
+	// A second drain with no new events deposits nothing.
+	dst[0], dst[1] = 0, 0
+	b.Drain(dst, 1)
+	if dst[0] != 0 || dst[1] != 0 {
+		t.Fatalf("second drain deposited %v", dst)
+	}
+	// Lifetime survives draining.
+	if b.LifetimeCount(s0) != 10 || b.LifetimeEnergy(s0) != 10*2e-9 {
+		t.Fatalf("lifetime lost: %d, %v", b.LifetimeCount(s0), b.LifetimeEnergy(s0))
+	}
+}
+
+func TestDrainAppliesScale(t *testing.T) {
+	b := stats.NewBus(1)
+	s := b.Register("scaled", 0, 1e-9)
+	b.IncN(s, 4)
+	b.AddEnergy(s, 0.5e-9)
+	dst := make([]float64, 1)
+	b.Drain(dst, 0.25)
+	want := (4*1e-9 + 0.5e-9) * 0.25
+	if math.Abs(dst[0]-want) > 1e-24 {
+		t.Fatalf("scaled drain %v, want %v", dst[0], want)
+	}
+	// Lifetime energy stays unscaled: activity differencing must not see
+	// DVFS voltage scaling.
+	if got := b.LifetimeEnergy(s); math.Abs(got-(4*1e-9+0.5e-9)) > 1e-24 {
+		t.Fatalf("lifetime energy %v scaled", got)
+	}
+}
+
+func TestAddEnergySideChannel(t *testing.T) {
+	b := stats.NewBus(1)
+	s := b.Register("match", 0, 0) // zero-joule slot: energy only via AddEnergy
+	b.AddEnergy(s, 1.5e-9)
+	b.Inc(s) // counted events contribute nothing at 0 J/event
+	dst := make([]float64, 1)
+	b.Drain(dst, 1)
+	if dst[0] != 1.5e-9 {
+		t.Fatalf("drained %v", dst[0])
+	}
+	if b.LifetimeCount(s) != 1 {
+		t.Fatalf("count %d", b.LifetimeCount(s))
+	}
+}
+
+func TestLifetimeIncludesPending(t *testing.T) {
+	b := stats.NewBus(1)
+	s := b.Register("x", 0, 1e-9)
+	b.IncN(s, 3)
+	if b.LifetimeCount(s) != 3 || math.Abs(b.LifetimeEnergy(s)-3e-9) > 1e-21 {
+		t.Fatal("pending events missing from lifetime before drain")
+	}
+	b.Drain(make([]float64, 1), 1)
+	b.IncN(s, 2)
+	if b.LifetimeCount(s) != 5 {
+		t.Fatalf("lifetime %d, want 5", b.LifetimeCount(s))
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	b := stats.NewBus(1)
+	s := b.Register("x", 0, 1e-9)
+	b.IncN(s, 3)
+	b.Drain(make([]float64, 1), 1)
+	b.IncN(s, 2)
+	b.Reset()
+	if b.LifetimeCount(s) != 0 || b.LifetimeEnergy(s) != 0 || b.Drains() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	if b.NumSlots() != 1 {
+		t.Fatal("reset dropped slot registrations")
+	}
+}
+
+func TestRegistrationValidation(t *testing.T) {
+	b := stats.NewBus(2)
+	for name, f := range map[string]func(){
+		"block too high": func() { b.Register("x", 2, 0) },
+		"block negative": func() { b.Register("x", -1, 0) },
+		"negative joule": func() { b.Register("x", 0, -1e-9) },
+		"empty bus":      func() { stats.NewBus(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	if s := b.Register("ok", 1, 2e-9); b.Block(s) != 1 || b.JoulesPerEvent(s) != 2e-9 || b.Name(s) != "ok" {
+		t.Fatal("accessors wrong")
+	}
+}

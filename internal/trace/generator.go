@@ -54,8 +54,9 @@ const (
 // ColdBase is the start of the streaming ("cold") address region. Cache
 // warmup must not touch addresses at or above ColdBase: the stream is
 // compulsory-miss traffic by construction, and a warmed stream would
-// replay as hits.
-const ColdBase uint64 = 0x4000_0000
+// replay as hits. It equals isa.StreamBase so the architectural memory
+// image stores the stream densely.
+const ColdBase uint64 = isa.StreamBase
 
 // NewGenerator builds a generator for the profile, seeded from the
 // profile's own seed (deterministic across runs).

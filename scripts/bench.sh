@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Run the hot-loop microbenchmarks and record the results.
+#
+# Usage:
+#
+#   scripts/bench.sh [-count N] [-out FILE] [pattern]
+#
+# Runs the cycle-loop microbenchmarks (default: BenchmarkPipelineCycle
+# and BenchmarkSimInterval) with -benchmem -count=5 and writes
+# BENCH_pipeline.json: the raw `go test -bench` text (benchstat's input
+# format) alongside machine-readable per-run samples. Compare two
+# checkouts with:
+#
+#   scripts/bench.sh -out /tmp/old.json            # on the baseline
+#   scripts/bench.sh -out /tmp/new.json            # on the change
+#   benchstat <(jq -r .benchstat /tmp/old.json) <(jq -r .benchstat /tmp/new.json)
+#
+# The benchmarks are single-threaded simulator loops, so run on an idle
+# machine for stable numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT=5
+OUT=BENCH_pipeline.json
+PATTERN='BenchmarkPipelineCycle|BenchmarkSimInterval'
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -count) COUNT="$2"; shift 2 ;;
+    -out) OUT="$2"; shift 2 ;;
+    -h|--help) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) PATTERN="$1"; shift ;;
+  esac
+done
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+echo "bench: running ${PATTERN} with -benchmem -count=${COUNT}" >&2
+go test -run '^$' -bench "${PATTERN}" -benchmem -count="${COUNT}" . | tee "$RAW" >&2
+
+# Assemble the JSON record: environment, per-sample parse, and the raw
+# benchstat-compatible text.
+go run ./scripts/benchjson "$RAW" > "$OUT"
+echo "bench: wrote $OUT" >&2

@@ -1,0 +1,84 @@
+// Command benchjson converts raw `go test -bench` output into the
+// BENCH_pipeline.json record written by scripts/bench.sh: parsed
+// per-sample numbers for machines, plus the verbatim text (benchstat's
+// input format) so `benchstat` can diff two records directly.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// sample is one benchmark line.
+type sample struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type record struct {
+	Generated string              `json:"generated"`
+	GoVersion string              `json:"go_version"`
+	GOOS      string              `json:"goos"`
+	GOARCH    string              `json:"goarch"`
+	CPU       string              `json:"cpu,omitempty"`
+	Samples   map[string][]sample `json:"samples"`
+	Benchstat string              `json:"benchstat"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson RAW_BENCH_OUTPUT")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rec := record{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Samples:   map[string][]sample{},
+		Benchstat: string(raw),
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			rec.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		s := sample{Name: m[1]}
+		s.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		s.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			s.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			s.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		rec.Samples[s.Name] = append(rec.Samples[s.Name], s)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
