@@ -7,21 +7,41 @@ import "fmt"
 // region is dense, 8-byte aligned, and written monotonically.
 const StreamBase uint64 = 0x4000_0000
 
+// HotBase and WarmBase anchor the trace generator's two reused working
+// sets. Both regions are small (tens of KB to ~1 MB) and hammered by
+// every load and store, so like the stream they live in dense slices
+// instead of the map — the map's hashing was a measurable slice of the
+// simulator's commit and store-forwarding paths.
+const (
+	HotBase  uint64 = 0x1000_0000
+	WarmBase uint64 = 0x2000_0000
+
+	// denseCapWords bounds how far the hot/warm slices may grow; aligned
+	// addresses past the cap fall back to the sparse map. 2^23 words
+	// (64 MB of address span per region) is far beyond any profile's
+	// working set while keeping a stray address from ballooning memory.
+	denseCapWords uint64 = 1 << 23
+)
+
 // State is an architectural machine state: the integer and floating-point
 // register files plus data memory. It backs the in-order reference executor
 // used to validate the out-of-order pipeline, and it also supplies the
 // committed memory image that the pipeline's load/store queue reads through.
 //
-// Memory is split by region: the sparse map holds the hot/warm working
-// sets, while aligned addresses at or above StreamBase live in a dense
-// slice indexed by word offset. The streaming region grows one word per
-// access forever, and a map would pay an overflow-bucket allocation for
-// it every few thousand stores — the slice keeps the simulator's commit
-// path allocation-free (amortized) in steady state.
+// Memory is split by region: aligned addresses in the hot, warm and
+// streaming regions live in dense slices indexed by word offset (grown on
+// first write, zero-filled like real memory); the sparse map holds
+// everything else. The streaming region grows one word per access
+// forever, and a map would pay an overflow-bucket allocation for it every
+// few thousand stores — the slices keep the simulator's commit path
+// allocation-free (amortized) in steady state and replace per-access map
+// hashing with an index.
 type State struct {
 	IntReg [NumIntRegs]uint64
 	FPReg  [NumFPRegs]uint64
 	Mem    map[uint64]uint64
+	Hot    []uint64
+	Warm   []uint64
 	Stream []uint64
 }
 
@@ -39,21 +59,34 @@ func NewState() *State {
 	return s
 }
 
-// streamIdx maps an address to its word index in the dense streaming
-// region, or ok=false for addresses the sparse map owns (below
-// StreamBase, or unaligned).
-func streamIdx(addr uint64) (uint64, bool) {
-	if addr < StreamBase || addr%8 != 0 {
-		return 0, false
+// region maps an address to its dense region and word index, or ok=false
+// for addresses the sparse map owns (unaligned, below HotBase, between
+// regions, or past a region's growth cap). The predicate depends only on
+// the address, so reads and writes always agree on where a value lives.
+func (s *State) region(addr uint64) (*[]uint64, uint64, bool) {
+	if addr%8 != 0 || addr < HotBase {
+		return nil, 0, false
 	}
-	return (addr - StreamBase) / 8, true
+	if addr >= StreamBase {
+		return &s.Stream, (addr - StreamBase) / 8, true
+	}
+	if addr >= WarmBase {
+		if idx := (addr - WarmBase) / 8; idx < denseCapWords {
+			return &s.Warm, idx, true
+		}
+		return nil, 0, false
+	}
+	if idx := (addr - HotBase) / 8; idx < denseCapWords {
+		return &s.Hot, idx, true
+	}
+	return nil, 0, false
 }
 
 // ReadMem returns the value at addr (zero if never written).
 func (s *State) ReadMem(addr uint64) uint64 {
-	if idx, ok := streamIdx(addr); ok {
-		if idx < uint64(len(s.Stream)) {
-			return s.Stream[idx]
+	if r, idx, ok := s.region(addr); ok {
+		if idx < uint64(len(*r)) {
+			return (*r)[idx]
 		}
 		return 0
 	}
@@ -62,11 +95,11 @@ func (s *State) ReadMem(addr uint64) uint64 {
 
 // WriteMem stores v at addr.
 func (s *State) WriteMem(addr uint64, v uint64) {
-	if idx, ok := streamIdx(addr); ok {
-		for uint64(len(s.Stream)) <= idx {
-			s.Stream = append(s.Stream, 0)
+	if r, idx, ok := s.region(addr); ok {
+		for uint64(len(*r)) <= idx {
+			*r = append(*r, 0)
 		}
-		s.Stream[idx] = v
+		(*r)[idx] = v
 		return
 	}
 	s.Mem[addr] = v
@@ -124,20 +157,32 @@ func (s *State) Diff(o *State) string {
 			return fmt.Sprintf("mem[%#x]: %#x vs %#x", addr, s.Mem[addr], v)
 		}
 	}
-	n := len(s.Stream)
-	if len(o.Stream) > n {
-		n = len(o.Stream)
+	if d := diffDense(s.Hot, o.Hot, HotBase); d != "" {
+		return d
+	}
+	if d := diffDense(s.Warm, o.Warm, WarmBase); d != "" {
+		return d
+	}
+	return diffDense(s.Stream, o.Stream, StreamBase)
+}
+
+// diffDense compares two dense memory regions, treating missing tail
+// entries as zero, and reports the first mismatch.
+func diffDense(x, y []uint64, base uint64) string {
+	n := len(x)
+	if len(y) > n {
+		n = len(y)
 	}
 	for i := 0; i < n; i++ {
 		var a, b uint64
-		if i < len(s.Stream) {
-			a = s.Stream[i]
+		if i < len(x) {
+			a = x[i]
 		}
-		if i < len(o.Stream) {
-			b = o.Stream[i]
+		if i < len(y) {
+			b = y[i]
 		}
 		if a != b {
-			return fmt.Sprintf("mem[%#x]: %#x vs %#x", StreamBase+uint64(i)*8, a, b)
+			return fmt.Sprintf("mem[%#x]: %#x vs %#x", base+uint64(i)*8, a, b)
 		}
 	}
 	return ""

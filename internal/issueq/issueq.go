@@ -53,11 +53,11 @@ const (
 	Draining                   // issued, held for possible replay; not yet a hole
 )
 
-type entry struct {
-	id    int32
-	state EntryState
-	drain int8
-}
+// The queue stores no per-entry structs: an entry is a bit in the state
+// masks plus its instruction ID in ids[]. Compaction therefore never
+// copies payloads — it remaps the ID array and shifts mask bits, while the
+// *modeled* data-wire, mux-select and counter events are still charged
+// exactly as if every payload had physically moved (see compact).
 
 // Queue is one compacting issue queue (the machine has two: integer and
 // floating-point).
@@ -79,16 +79,24 @@ type Queue struct {
 	// asymmetry.
 	nonCompacting bool
 
-	slots    []entry // indexed by PHYSICAL position
+	ids      []int32 // instruction ID per PHYSICAL position (valid where occMask set)
 	idToPhys []int32 // id -> physical position, -1 if absent
 
 	// Per-state occupancy bitmasks over physical slots; occMask is the
-	// union of the other three. Maintained incrementally by every state
-	// transition.
+	// union of waitMask, readyMask and the drain-age masks. Maintained
+	// incrementally by every state transition.
 	occMask   uint64
 	waitMask  uint64
 	readyMask uint64
-	drainMask uint64
+
+	// Draining entries are tracked by residency age instead of per-entry
+	// counters: ages[a] holds the entries that become holes after a+1 more
+	// Ticks, so the per-cycle countdown is a one-slot shift of the mask
+	// array rather than a walk over draining entries. agesL/agesN are
+	// compaction scratch (logical-coordinate and post-shift accumulators).
+	ages  []uint64
+	agesL []uint64
+	agesN []uint64
 
 	allMask uint64 // n low bits
 	loMask  uint64 // bottom physical half
@@ -97,8 +105,8 @@ type Queue struct {
 	// Event-count slots on the stats bus, one per Table 3 event kind per
 	// physical half. New binds a queue-private bus; the pipeline rebinds
 	// to the power meter's bus with the real floorplan block indices.
-	bus    *stats.Bus
-	ownBus bool
+	bus             *stats.Bus
+	ownBus          bool
 	sDispatchBase   [2]stats.SlotID // per dispatch, both halves: PayloadRAM/2 + LongCompaction/4
 	sDispatchTarget [2]stats.SlotID // per dispatch, written half: LongCompaction/2
 	sIssue          [2]stats.SlotID // per issue, both halves: (Select + PayloadRAM)/2
@@ -138,13 +146,20 @@ func New(n, w, drainCycles, idSpace int) *Queue {
 	if w <= 0 || drainCycles < 0 || idSpace <= 0 {
 		panic("issueq: bad width/drain/idSpace")
 	}
+	k := drainCycles
+	if k < 1 {
+		k = 1 // zero-residency entries still occupy their slot until the next Tick
+	}
 	q := &Queue{
 		n:           n,
 		half:        n / 2,
 		width:       w,
 		drainCycles: int8(drainCycles),
-		slots:       make([]entry, n),
+		ids:         make([]int32, n),
 		idToPhys:    make([]int32, idSpace),
+		ages:        make([]uint64, k),
+		agesL:       make([]uint64, k),
+		agesN:       make([]uint64, k),
 	}
 	for i := range q.idToPhys {
 		q.idToPhys[i] = -1
@@ -236,11 +251,38 @@ func (q *Queue) halfOf(phys int) int {
 // logicalOcc returns the occupancy mask indexed by logical position:
 // bit L set iff the entry at physical (origin+L) mod n is occupied.
 func (q *Queue) logicalOcc() uint64 {
+	return q.toLogical(q.occMask)
+}
+
+// toLogical rotates a physical-position mask into logical coordinates
+// (bit L of the result is bit (origin+L) mod n of m).
+func (q *Queue) toLogical(m uint64) uint64 {
 	if q.origin == 0 {
-		return q.occMask
+		return m
 	}
 	r := uint(q.origin)
-	return ((q.occMask >> r) | (q.occMask << (uint(q.n) - r))) & q.allMask
+	return ((m >> r) | (m << (uint(q.n) - r))) & q.allMask
+}
+
+// toPhysical is the inverse rotation of toLogical.
+func (q *Queue) toPhysical(m uint64) uint64 {
+	if q.origin == 0 {
+		return m
+	}
+	r := uint(q.origin)
+	return ((m << r) | (m >> (uint(q.n) - r))) & q.allMask
+}
+
+// maskRange returns the bits in logical positions [a, b).
+func maskRange(a, b int) uint64 {
+	if a >= b {
+		return 0
+	}
+	m := ^uint64(0)
+	if b < 64 {
+		m = uint64(1)<<uint(b) - 1
+	}
+	return m &^ (uint64(1)<<uint(a) - 1)
 }
 
 // Full reports whether dispatch would fail. The compacting queue can be
@@ -292,7 +334,7 @@ func (q *Queue) Dispatch(id int32) bool {
 		p = q.physOf(q.tail)
 		q.tail++
 	}
-	q.slots[p] = entry{id: id, state: Waiting}
+	q.ids[p] = id
 	bit := uint64(1) << uint(p)
 	q.occMask |= bit
 	q.waitMask |= bit
@@ -319,12 +361,10 @@ func (q *Queue) MarkReady(id int32) {
 	if p < 0 {
 		panic(fmt.Sprintf("issueq: MarkReady(%d) not in queue", id))
 	}
-	e := &q.slots[p]
-	if e.state == Draining {
+	bit := uint64(1) << uint(p)
+	if (q.waitMask|q.readyMask)&bit == 0 {
 		panic(fmt.Sprintf("issueq: MarkReady(%d) after issue", id))
 	}
-	e.state = Ready
-	bit := uint64(1) << uint(p)
 	q.waitMask &^= bit
 	q.readyMask |= bit
 }
@@ -338,15 +378,12 @@ func (q *Queue) Issue(id int32) {
 	if p < 0 {
 		panic(fmt.Sprintf("issueq: Issue(%d) not in queue", id))
 	}
-	e := &q.slots[p]
-	if e.state != Ready {
-		panic(fmt.Sprintf("issueq: Issue(%d) in state %d", id, e.state))
-	}
-	e.state = Draining
-	e.drain = q.drainCycles
 	bit := uint64(1) << uint(p)
+	if q.readyMask&bit == 0 {
+		panic(fmt.Sprintf("issueq: Issue(%d) in state %d", id, q.StateOf(id)))
+	}
 	q.readyMask &^= bit
-	q.drainMask |= bit
+	q.ages[len(q.ages)-1] |= bit
 	q.Issues++
 	q.bus.Inc(q.sIssue[0])
 	q.bus.Inc(q.sIssue[1])
@@ -360,12 +397,13 @@ func (q *Queue) Remove(id int32) {
 	if p < 0 {
 		return
 	}
-	q.slots[p] = entry{}
 	bit := uint64(1) << uint(p)
 	q.occMask &^= bit
 	q.waitMask &^= bit
 	q.readyMask &^= bit
-	q.drainMask &^= bit
+	for a := range q.ages {
+		q.ages[a] &^= bit
+	}
 	q.idToPhys[id] = -1
 	// Reclaim tail slots freed at the top so dispatch can proceed
 	// immediately after a flush (real hardware resets the tail pointer).
@@ -408,7 +446,7 @@ func (q *Queue) Requests(req []int32) {
 	}
 	for m := q.readyMask; m != 0; m &= m - 1 {
 		p := bits.TrailingZeros64(m)
-		req[p] = q.slots[p].id
+		req[p] = q.ids[p]
 	}
 }
 
@@ -422,31 +460,33 @@ func (q *Queue) WaitMask() uint64 { return q.waitMask }
 
 // IDAt returns the instruction ID occupying physical position p. Only
 // meaningful for positions set in an occupancy mask.
-func (q *Queue) IDAt(p int) int32 { return q.slots[p].id }
+func (q *Queue) IDAt(p int) int32 { return q.ids[p] }
 
-// Tick advances one cycle: decrements drain counters (turning expired
-// Draining entries into holes), performs one compaction pass squeezing up
-// to the compaction width of holes, charges all Table 3 energies, and
-// accumulates per-half utilization statistics.
+// Tick advances one cycle: ages the draining entries (turning expired ones
+// into holes), performs one compaction pass squeezing up to the compaction
+// width of holes, charges all Table 3 energies, and accumulates per-half
+// utilization statistics.
 func (q *Queue) Tick() {
 	// Clock-gating control logic runs every cycle for the whole queue.
 	q.bus.Inc(q.sTick[0])
 	q.bus.Inc(q.sTick[1])
 
-	// Drain countdown over the issued entries only.
-	for m := q.drainMask; m != 0; m &= m - 1 {
-		p := bits.TrailingZeros64(m)
-		e := &q.slots[p]
-		if e.drain > 0 {
-			e.drain--
+	// Drain countdown: the age-0 entries expire, everything else moves one
+	// age slot closer.
+	if expired := q.ages[0]; expired != 0 {
+		for m := expired; m != 0; m &= m - 1 {
+			q.idToPhys[q.ids[bits.TrailingZeros64(m)]] = -1
 		}
-		if e.drain == 0 {
-			q.idToPhys[e.id] = -1
-			*e = entry{}
-			bit := uint64(1) << uint(p)
-			q.drainMask &^= bit
-			q.occMask &^= bit
+		q.occMask &^= expired
+	}
+	if len(q.ages) == 2 { // common case (two drain cycles): no shift loop
+		q.ages[0] = q.ages[1]
+		q.ages[1] = 0
+	} else {
+		for a := 1; a < len(q.ages); a++ {
+			q.ages[a-1] = q.ages[a]
 		}
+		q.ages[len(q.ages)-1] = 0
 	}
 	q.HalfOccupied[0] += uint64(bits.OnesCount64(q.occMask & q.loMask))
 	q.HalfOccupied[1] += uint64(bits.OnesCount64(q.occMask & q.hiMask))
@@ -466,9 +506,18 @@ func (q *Queue) Tick() {
 // physical trajectory wraps across the end of the queue is charged the
 // long-compaction energy instead of the entry-to-entry energy.
 //
-// The scan starts at the lowest logical hole (found by a mask probe):
-// below it nothing moves and nothing is charged, which is exactly what
-// the full scan used to compute there.
+// The compaction is *virtual*: instead of visiting every logical slot
+// above the lowest hole and copying entry structs one position at a time,
+// the pass partitions the occupied entries into segments by how far they
+// shift (everything between the i-th and (i+1)-th squeezed hole shifts
+// down i slots), then charges each Table 3 event with a popcount over the
+// segment's mask and remaps only the ID array — O(holes + moved IDs)
+// bitwise work. The counted events are identical to the entry-walk this
+// replaces: every occupied entry above the lowest hole clocks its
+// invalid-count stages and moves (removed ≥ 1 there), short/wrap moves
+// are classified by whether the physical trajectory crosses slot 0
+// (logical source in [n-origin, n-origin+shift)), and mux selects follow
+// the destination half.
 func (q *Queue) compact() {
 	if q.tail == 0 {
 		return
@@ -479,63 +528,152 @@ func (q *Queue) compact() {
 	} else {
 		tailMask = 1<<uint(q.tail) - 1
 	}
-	holes := ^q.logicalOcc() & tailMask
+	occL := q.logicalOcc()
+	holes := ^occL & tailMask
 	if holes == 0 {
 		return // no holes below the tail: nothing compacts, nothing clocks
 	}
-	removed := 0
-	for readL := bits.TrailingZeros64(holes); readL < q.tail; readL++ {
-		p := q.physOf(readL)
-		e := q.slots[p]
-		if e.state == Empty {
-			if removed < q.width {
-				// This hole is squeezed out this cycle.
-				removed++
-			}
-			// Holes beyond the compaction width shift down implicitly
-			// (their slots are Empty on both ends) and drive no wires.
+	removed := bits.OnesCount64(holes)
+	if removed > q.width {
+		// Holes beyond the compaction width shift down implicitly (their
+		// slots are Empty on both ends) and drive no wires.
+		removed = q.width
+	}
+
+	// Entries above the lowest squeezed hole are not clock-gated: their
+	// invalid-count stages toggle this cycle.
+	h1 := bits.TrailingZeros64(holes)
+	aboveP := q.toPhysical(occL &^ (uint64(1)<<uint(h1+1) - 1))
+	q.bus.IncN(q.sCounter[0], uint64(bits.OnesCount64(aboveP&q.loMask)))
+	q.bus.IncN(q.sCounter[1], uint64(bits.OnesCount64(aboveP&q.hiMask)))
+
+	// Collapsing the squeezed holes out of a state mask is the same
+	// per-segment shift the moves perform: bits below the lowest hole stay,
+	// bits in segment i land i slots lower. Each mask is rotated to logical
+	// coordinates once, accumulated segment by segment, and rotated back.
+	waitL := q.toLogical(q.waitMask)
+	readyL := q.toLogical(q.readyMask)
+	keep := uint64(1)<<uint(h1) - 1
+	waitNew := waitL & keep
+	readyNew := readyL & keep
+	// The two-age configuration (default drain of 2 cycles) is hot enough
+	// to keep in registers; other depths fall back to the slice loops.
+	k2 := len(q.ages) == 2
+	var age0L, age1L, age0N, age1N uint64
+	if k2 {
+		age0L = q.toLogical(q.ages[0])
+		age1L = q.toLogical(q.ages[1])
+		age0N = age0L & keep
+		age1N = age1L & keep
+	} else {
+		for a := range q.ages {
+			q.agesL[a] = q.toLogical(q.ages[a])
+			q.agesN[a] = q.agesL[a] & keep
+		}
+	}
+
+	// wrapLo is the logical position whose downward move crosses physical
+	// slot 0 (only reachable when the origin is mid-queue).
+	wrapLo := q.n - q.origin
+	hm := holes
+	for i := 1; i <= removed; i++ {
+		lo := bits.TrailingZeros64(hm)
+		hm &= hm - 1
+		hi := q.tail
+		if i < removed {
+			hi = bits.TrailingZeros64(hm)
+		}
+		// Occupied entries in logical (lo, hi) shift down by i.
+		segRange := maskRange(lo+1, hi)
+		seg := occL & segRange
+		if seg == 0 {
 			continue
 		}
-		// Entries above the lowest squeezed hole are not clock-gated:
-		// their invalid-count stages toggle this cycle (removed > 0 for
-		// every occupied entry past the first hole).
-		q.bus.Inc(q.sCounter[q.halfOf(p)])
-		dstL := readL - removed
-		if dstL != readL {
-			dstP := q.physOf(dstL)
-			// Move the entry.
-			q.slots[dstP] = e
-			q.slots[p] = entry{}
-			q.idToPhys[e.id] = int32(dstP)
-			pBit := uint64(1) << uint(p)
-			dBit := uint64(1) << uint(dstP)
-			q.occMask = q.occMask&^pBit | dBit
-			switch e.state {
-			case Waiting:
-				q.waitMask = q.waitMask&^pBit | dBit
-			case Ready:
-				q.readyMask = q.readyMask&^pBit | dBit
-			default:
-				q.drainMask = q.drainMask&^pBit | dBit
+		sh := uint(i)
+		waitNew |= (waitL & segRange) >> sh
+		readyNew |= (readyL & segRange) >> sh
+		if k2 {
+			age0N |= (age0L & segRange) >> sh
+			age1N |= (age1L & segRange) >> sh
+		} else {
+			for a := range q.agesN {
+				q.agesN[a] |= (q.agesL[a] & segRange) >> sh
 			}
-			q.Moves++
-			srcHalf := q.halfOf(p)
-			q.HalfMoves[srcHalf]++
-			if dstP > p {
-				// Physically upward move while logically downward: the
-				// wrap-around long compaction of the toggled mode.
-				q.WrapMoves++
-				q.bus.Inc(q.sMoveWrap[srcHalf])
+		}
+		var wrapL uint64
+		if q.origin != 0 {
+			wrapL = seg & maskRange(wrapLo, wrapLo+i)
+		}
+		shortP := q.toPhysical(seg &^ wrapL)
+		s0 := bits.OnesCount64(shortP & q.loMask)
+		s1 := bits.OnesCount64(shortP & q.hiMask)
+		q.bus.IncN(q.sMoveShort[0], uint64(s0))
+		q.bus.IncN(q.sMoveShort[1], uint64(s1))
+		q.Moves += uint64(s0 + s1)
+		q.HalfMoves[0] += uint64(s0)
+		q.HalfMoves[1] += uint64(s1)
+		if wrapL != 0 {
+			wrapP := q.toPhysical(wrapL)
+			w0 := bits.OnesCount64(wrapP & q.loMask)
+			w1 := bits.OnesCount64(wrapP & q.hiMask)
+			q.bus.IncN(q.sMoveWrap[0], uint64(w0))
+			q.bus.IncN(q.sMoveWrap[1], uint64(w1))
+			q.Moves += uint64(w0 + w1)
+			q.WrapMoves += uint64(w0 + w1)
+			q.HalfMoves[0] += uint64(w0)
+			q.HalfMoves[1] += uint64(w1)
+		}
+		dstP := q.toPhysical(seg >> sh)
+		q.bus.IncN(q.sMuxSel[0], uint64(bits.OnesCount64(dstP&q.loMask)))
+		q.bus.IncN(q.sMuxSel[1], uint64(bits.OnesCount64(dstP&q.hiMask)))
+
+		// Remap the IDs, lowest logical position first so every
+		// destination slot was already read (or is a hole).
+		if q.origin == 0 {
+			if seg == segRange {
+				// Fully occupied range (always true between consecutive
+				// squeezed holes, and true for the last segment unless
+				// holes beyond the compaction width remain): the ID block
+				// moves as one copy and the map update walks it linearly.
+				copy(q.ids[lo+1-i:hi-i], q.ids[lo+1:hi])
+				for d := lo + 1 - i; d < hi-i; d++ {
+					q.idToPhys[q.ids[d]] = int32(d)
+				}
 			} else {
-				q.bus.Inc(q.sMoveShort[srcHalf])
+				for m := seg; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros64(m)
+					id := q.ids[l]
+					q.ids[l-i] = id
+					q.idToPhys[id] = int32(l - i)
+				}
 			}
-			q.bus.Inc(q.sMuxSel[q.halfOf(dstP)])
+		} else {
+			for m := seg; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros64(m)
+				d := q.physOf(l - i)
+				id := q.ids[q.physOf(l)]
+				q.ids[d] = id
+				q.idToPhys[id] = int32(d)
+			}
 		}
 	}
-	if removed > 0 {
-		q.Compactions++
-		q.tail -= removed
+
+	q.waitMask = q.toPhysical(waitNew)
+	q.readyMask = q.toPhysical(readyNew)
+	occNew := waitNew | readyNew
+	if k2 {
+		q.ages[0] = q.toPhysical(age0N)
+		q.ages[1] = q.toPhysical(age1N)
+		occNew |= age0N | age1N
+	} else {
+		for a := range q.agesN {
+			q.ages[a] = q.toPhysical(q.agesN[a])
+			occNew |= q.agesN[a]
+		}
 	}
+	q.occMask = q.toPhysical(occNew)
+	q.Compactions++
+	q.tail -= removed
 }
 
 // Toggle flips the head/tail configuration between the conventional and
@@ -574,7 +712,7 @@ func (q *Queue) EnergyTotals() (half0, half1 float64) {
 // returns it. Hot callers iterate WaitMask directly.
 func (q *Queue) Waiting(dst []int32) []int32 {
 	for m := q.waitMask; m != 0; m &= m - 1 {
-		dst = append(dst, q.slots[bits.TrailingZeros64(m)].id)
+		dst = append(dst, q.ids[bits.TrailingZeros64(m)])
 	}
 	return dst
 }
@@ -586,7 +724,14 @@ func (q *Queue) StateOf(id int32) EntryState {
 	if p < 0 {
 		return Empty
 	}
-	return q.slots[p].state
+	switch bit := uint64(1) << uint(p); {
+	case q.waitMask&bit != 0:
+		return Waiting
+	case q.readyMask&bit != 0:
+		return Ready
+	default:
+		return Draining
+	}
 }
 
 // LogicalOrder appends the IDs of occupied entries in logical (priority)
@@ -594,8 +739,8 @@ func (q *Queue) StateOf(id int32) EntryState {
 // preserves order.
 func (q *Queue) LogicalOrder(dst []int32) []int32 {
 	for l := 0; l < q.n; l++ {
-		if e := q.slots[q.physOf(l)]; e.state != Empty {
-			dst = append(dst, e.id)
+		if p := q.physOf(l); q.occMask&(uint64(1)<<uint(p)) != 0 {
+			dst = append(dst, q.ids[p])
 		}
 	}
 	return dst
@@ -615,14 +760,17 @@ func (q *Queue) PhysicalHalfOf(id int32) int {
 // When the queue still owns its private stats bus the bus counters are
 // cleared too; a shared bus (bound via BindStats) is left untouched.
 func (q *Queue) Reset() {
-	for i := range q.slots {
-		q.slots[i] = entry{}
+	for i := range q.ids {
+		q.ids[i] = 0
 	}
 	for i := range q.idToPhys {
 		q.idToPhys[i] = -1
 	}
+	for a := range q.ages {
+		q.ages[a] = 0
+	}
 	q.origin, q.tail = 0, 0
-	q.occMask, q.waitMask, q.readyMask, q.drainMask = 0, 0, 0, 0
+	q.occMask, q.waitMask, q.readyMask = 0, 0, 0
 	if q.ownBus {
 		q.bus.Reset()
 	}

@@ -48,24 +48,45 @@ const (
 	slotDone
 )
 
+// robEntry holds one in-flight instruction. Only the instruction fields the
+// back end reads after dispatch are kept (op/seq/addr rather than the whole
+// isa.Inst): the trimmed entry fits in a single cache line, which matters
+// because completion, wakeup and commit all touch entries in data-dependent
+// order.
 type robEntry struct {
-	inst      isa.Inst
+	seq   uint64
+	addr  uint64 // pre-resolved effective address (memory ops)
+	value uint64
+
+	op        isa.Op
 	state     slotState
 	fp        bool
-	destPhys  int16
-	prevPhys  int16
-	src1Phys  int16
-	src2Phys  int16
-	lsqIdx    int32
 	unit      int8
 	mispredct bool
-	value     uint64
+
+	destPhys int16
+	prevPhys int16
+	src1Phys int16
+	src2Phys int16
+	lsqIdx   int32
+	destFP   bool // destination register file (valid iff destPhys >= 0)
+
+	// Event-driven wakeup bookkeeping (unused in scan mode). waitCnt is
+	// the number of still-unready source registers this entry is
+	// registered on; wnext links the per-register waiter lists (one slot
+	// per source operand, token = id*2+slot); sNext links the per-store
+	// waiter list a blocked load sits on. Link fields are only read while
+	// the entry is on the corresponding list.
+	waitCnt uint8
+	wnext   [2]int32
+	sNext   int32
 }
 
 // storeRef is a snapshot of an unresolved store for disambiguation.
 type storeRef struct {
 	seq  uint64
 	addr uint64
+	rob  int32
 }
 
 type lsqEntry struct {
@@ -115,11 +136,11 @@ type Pipeline struct {
 	portFree []int64
 
 	// Fetch state.
-	nextInst   isa.Inst
-	hasNext    bool
-	curLine    uint64
-	maxFetched uint64 // fetch budget; 0 = unlimited
-	fetchOff   bool
+	curLine                             uint64
+	lineShift                           uint   // log2(L1LineB); the cache guarantees a power of two
+	issueWidth, commitWidth, fetchWidth int    // cached config widths
+	maxFetched                          uint64 // fetch budget; 0 = unlimited
+	fetchOff                            bool
 
 	// Cached floorplan block indices.
 	bIcache, bDcache, bBpred, bITB, bDTB, bLdStQ int
@@ -141,6 +162,24 @@ type Pipeline struct {
 	// Scratch buffers reused across cycles.
 	grantBuf   []seltree.Grant
 	unresolved []storeRef
+
+	// Event-driven wakeup state (the default; scanWakeup selects the
+	// reference per-cycle scan instead). waitHeadInt/waitHeadFP hold, per
+	// physical register, the head token of the intrusive list of entries
+	// waiting on it; storeWaitHead holds, per active-list slot of an
+	// unresolved store, the head of the list of loads blocked on it.
+	// wakeBuf collects the IDs that became ready since the last
+	// wakeupStage; it is bounded by the active-list size.
+	scanWakeup    bool
+	waitHeadInt   []int32
+	waitHeadFP    []int32
+	storeWaitHead []int32
+	wakeBuf       []int32
+
+	// storeMask tracks which LSQ ring slots hold stores, for the
+	// store-forwarding scan (usable while the LSQ fits a 64-bit mask).
+	storeMask uint64
+	lsqMaskOK bool
 
 	// Statistics.
 	Fetched     uint64
@@ -198,6 +237,22 @@ func New(cfg *config.Config, plan *floorplan.Plan, meter *power.Meter, gen *trac
 	}
 	p.rob.entries = make([]robEntry, cfg.ActiveList)
 	p.rob.lsq = make([]lsqEntry, cfg.LSQEntries)
+	p.lsqMaskOK = cfg.LSQEntries <= 64
+
+	p.scanWakeup = defaultScanWakeup
+	p.waitHeadInt = make([]int32, cfg.PhysIntRegs)
+	p.waitHeadFP = make([]int32, cfg.PhysFPRegs)
+	p.storeWaitHead = make([]int32, cfg.ActiveList)
+	for i := range p.waitHeadInt {
+		p.waitHeadInt[i] = -1
+	}
+	for i := range p.waitHeadFP {
+		p.waitHeadFP[i] = -1
+	}
+	for i := range p.storeWaitHead {
+		p.storeWaitHead[i] = -1
+	}
+	p.wakeBuf = make([]int32, 0, cfg.ActiveList)
 
 	// Pre-size every completion bucket for the worst case (all in-flight
 	// instructions landing on one slot) so schedule() never grows a
@@ -295,6 +350,8 @@ func New(cfg *config.Config, plan *floorplan.Plan, meter *power.Meter, gen *trac
 		p.fpQ.SetNonCompacting(true)
 	}
 	p.curLine = ^uint64(0)
+	p.lineShift = uint(bits.TrailingZeros64(uint64(cfg.L1LineB)))
+	p.issueWidth, p.commitWidth, p.fetchWidth = cfg.IssueWidth, cfg.CommitWidth, cfg.FetchWidth
 	return p
 }
 
@@ -347,7 +404,7 @@ func (p *Pipeline) Warmup(n int) {
 	line := ^uint64(0)
 	for i := 0; i < n; i++ {
 		in := g.Next()
-		if l := in.PC / uint64(p.cfg.L1LineB); l != line {
+		if l := in.PC >> p.lineShift; l != line {
 			line = l
 			p.mem.Inst(in.PC)
 		}
@@ -398,7 +455,7 @@ func (p *Pipeline) Cycle() {
 // visible, dependants wake, stores resolve, mispredicted branches release
 // fetch.
 func (p *Pipeline) completeStage() {
-	bucket := &p.completions[p.cycle%completionRing]
+	bucket := &p.completions[uint64(p.cycle)&(completionRing-1)]
 	if len(*bucket) == 0 {
 		return
 	}
@@ -406,23 +463,34 @@ func (p *Pipeline) completeStage() {
 	for _, id := range *bucket {
 		e := &p.rob.entries[id]
 		e.state = slotDone
-		if e.inst.Op.HasDest() {
-			if e.inst.Op.DestIsFP() {
+		if e.destPhys >= 0 {
+			if e.destFP {
 				p.physFP[e.destPhys] = e.value
 				p.readyFP[e.destPhys] = true
 				fpTags++
 				p.ebus.Inc(p.sFPRegWrite)
+				if t := p.waitHeadFP[e.destPhys]; t >= 0 && !p.scanWakeup {
+					p.waitHeadFP[e.destPhys] = -1
+					p.wakeRegWaiters(t)
+				}
 			} else {
 				p.physInt[e.destPhys] = e.value
 				p.readyInt[e.destPhys] = true
 				intTags++
 				p.rf.ChargeWrite()
+				if t := p.waitHeadInt[e.destPhys]; t >= 0 && !p.scanWakeup {
+					p.waitHeadInt[e.destPhys] = -1
+					p.wakeRegWaiters(t)
+				}
 			}
 		}
-		if e.lsqIdx >= 0 && e.inst.Op == isa.OpStore {
+		if e.op == isa.OpStore && e.lsqIdx >= 0 {
 			p.rob.lsq[e.lsqIdx].resolved = true
 			p.rob.lsq[e.lsqIdx].data = e.value
-			p.removeUnresolved(e.inst.Seq)
+			p.removeUnresolved(e.seq)
+			if !p.scanWakeup {
+				p.wakeStoreWaiters(id)
+			}
 		}
 		if e.mispredct {
 			p.fetchResume = p.cycle + int64(p.cfg.BranchPenalty)
@@ -436,22 +504,25 @@ func (p *Pipeline) completeStage() {
 
 // commitStage retires completed instructions in program order.
 func (p *Pipeline) commitStage() {
-	for n := 0; n < p.cfg.CommitWidth && p.rob.count > 0; n++ {
+	for n := 0; n < p.commitWidth && p.rob.count > 0; n++ {
 		e := &p.rob.entries[p.rob.head]
 		if e.state != slotDone {
 			return
 		}
-		if e.inst.Op == isa.OpStore {
+		if e.op == isa.OpStore {
 			le := &p.rob.lsq[e.lsqIdx]
 			p.committedMem.WriteMem(le.addr, le.data)
 			p.ebus.Inc(p.sDcache)
 		}
 		if e.lsqIdx >= 0 {
-			p.rob.lsqHead = (p.rob.lsqHead + 1) % len(p.rob.lsq)
+			p.storeMask &^= 1 << uint(e.lsqIdx)
+			if p.rob.lsqHead++; p.rob.lsqHead == len(p.rob.lsq) {
+				p.rob.lsqHead = 0
+			}
 			p.rob.lsqCount--
 		}
-		if e.inst.Op.HasDest() && e.prevPhys >= 0 {
-			if e.inst.Op.DestIsFP() {
+		if e.prevPhys >= 0 {
+			if e.destFP {
 				p.freeFP = append(p.freeFP, e.prevPhys)
 			} else {
 				p.freeInt = append(p.freeInt, e.prevPhys)
@@ -459,14 +530,19 @@ func (p *Pipeline) commitStage() {
 		}
 		// The active-list slot is about to be recycled: if the issued
 		// entry is still in its queue's post-issue drain window, clear it
-		// now so the slot ID can be re-dispatched.
+		// now so the slot ID can be re-dispatched. The Contains guard
+		// keeps the already-expired common case call-free.
 		if e.fp {
-			p.fpQ.Remove(int32(p.rob.head))
-		} else {
+			if p.fpQ.Contains(int32(p.rob.head)) {
+				p.fpQ.Remove(int32(p.rob.head))
+			}
+		} else if p.intQ.Contains(int32(p.rob.head)) {
 			p.intQ.Remove(int32(p.rob.head))
 		}
 		e.state = slotFree
-		p.rob.head = (p.rob.head + 1) % len(p.rob.entries)
+		if p.rob.head++; p.rob.head == len(p.rob.entries) {
+			p.rob.head = 0
+		}
 		p.rob.count--
 		p.Committed++
 	}
@@ -474,9 +550,100 @@ func (p *Pipeline) commitStage() {
 
 // wakeupStage marks queue entries whose operands (and memory ordering
 // constraints) are satisfied as ready to request selection.
+//
+// In the default event-driven mode the ready set was computed
+// incrementally — producers woke exactly their consumers at writeback
+// (wakeRegWaiters/wakeStoreWaiters) and dispatch enqueued born-ready
+// instructions — so this stage only flushes the accumulated buffer into
+// the queues' ready masks. The timing is identical to the scan: both
+// observe the register/store state as of this cycle's completeStage, and
+// MarkReady order within a cycle cannot matter because the ready set is a
+// bit mask.
 func (p *Pipeline) wakeupStage() {
-	p.wakeQueue(p.intQ)
-	p.wakeQueue(p.fpQ)
+	if p.scanWakeup {
+		p.wakeQueue(p.intQ)
+		p.wakeQueue(p.fpQ)
+		return
+	}
+	for _, id := range p.wakeBuf {
+		if p.rob.entries[id].fp {
+			p.fpQ.MarkReady(id)
+		} else {
+			p.intQ.MarkReady(id)
+		}
+	}
+	p.wakeBuf = p.wakeBuf[:0]
+}
+
+// SetScanWakeup switches the pipeline to the reference scan-based wakeup
+// (true) or the event-driven wakeup (false). Only valid before the first
+// cycle; the two paths produce bit-identical schedules (see
+// wakeup_diff_test.go) but maintain different bookkeeping.
+func (p *Pipeline) SetScanWakeup(on bool) {
+	if p.cycle != 0 || p.Fetched != 0 {
+		panic("pipeline: SetScanWakeup after execution started")
+	}
+	p.scanWakeup = on
+}
+
+// ScanWakeup reports which wakeup implementation is active.
+func (p *Pipeline) ScanWakeup() bool { return p.scanWakeup }
+
+// wakeRegWaiters drains the waiter list of a physical register that just
+// wrote back, starting from token t (the caller detaches the list head):
+// every entry on it has one fewer unready operand, and those reaching zero
+// either become ready now or (loads) park on a blocking store's list.
+func (p *Pipeline) wakeRegWaiters(t int32) {
+	for t >= 0 {
+		e := &p.rob.entries[t>>1]
+		next := e.wnext[t&1]
+		e.waitCnt--
+		if e.waitCnt == 0 {
+			p.maybeWake(t>>1, e)
+		}
+		t = next
+	}
+}
+
+// wakeStoreWaiters drains the list of loads blocked on a store that just
+// resolved; each re-checks the (shrunken) unresolved set and either parks
+// on another blocking store or becomes ready.
+func (p *Pipeline) wakeStoreWaiters(store int32) {
+	t := p.storeWaitHead[store]
+	p.storeWaitHead[store] = -1
+	for t >= 0 {
+		e := &p.rob.entries[t]
+		next := e.sNext
+		p.maybeWake(t, e)
+		t = next
+	}
+}
+
+// maybeWake is called exactly once each time an entry runs out of unready
+// register operands or loses its blocking store: loads re-check memory
+// ordering and park on an older unresolved same-address store if one
+// remains; everything else joins the next wakeupStage's ready flush.
+func (p *Pipeline) maybeWake(id int32, e *robEntry) {
+	if e.op == isa.OpLoad || e.op == isa.OpLoadFP {
+		if s := p.findBlocker(e); s >= 0 {
+			e.sNext = p.storeWaitHead[s]
+			p.storeWaitHead[s] = id
+			return
+		}
+	}
+	p.wakeBuf = append(p.wakeBuf, id)
+}
+
+// findBlocker returns the active-list slot of an older unresolved
+// same-address store blocking this load, or -1.
+func (p *Pipeline) findBlocker(e *robEntry) int32 {
+	for i := range p.unresolved {
+		s := &p.unresolved[i]
+		if s.seq < e.seq && s.addr == e.addr {
+			return s.rob
+		}
+	}
+	return -1
 }
 
 // wakeQueue walks q's waiting entries by bit mask. The mask is snapshotted
@@ -490,7 +657,7 @@ func (p *Pipeline) wakeQueue(q *issueq.Queue) {
 		if !p.srcReady(e) {
 			continue
 		}
-		if (e.inst.Op == isa.OpLoad || e.inst.Op == isa.OpLoadFP) && p.loadBlocked(e) {
+		if (e.op == isa.OpLoad || e.op == isa.OpLoadFP) && p.loadBlocked(e) {
 			continue
 		}
 		q.MarkReady(id)
@@ -505,7 +672,7 @@ func (p *Pipeline) wakeQueue(q *issueq.Queue) {
 // and leave when their data resolves.
 func (p *Pipeline) loadBlocked(e *robEntry) bool {
 	for _, s := range p.unresolved {
-		if s.seq < e.inst.Seq && s.addr == e.inst.Addr {
+		if s.seq < e.seq && s.addr == e.addr {
 			return true
 		}
 	}
@@ -541,14 +708,14 @@ func (p *Pipeline) issueStage() {
 	var addMask, mulMask uint64
 	for m := p.fpQ.ReadyMask(); m != 0; m &= m - 1 {
 		phys := bits.TrailingZeros64(m)
-		if p.rob.entries[p.fpQ.IDAt(phys)].inst.Op == isa.OpFMul {
+		if p.rob.entries[p.fpQ.IDAt(phys)].op == isa.OpFMul {
 			mulMask |= 1 << uint(phys)
 		} else {
 			addMask |= 1 << uint(phys)
 		}
 	}
 
-	budget := p.cfg.IssueWidth
+	budget := p.issueWidth
 	p.grantBuf = p.grantBuf[:0]
 	p.grantBuf = p.intPool.SelectMask(p.intQ.ReadyMask(), p.grantBuf, budget)
 	nInt := len(p.grantBuf)
@@ -595,10 +762,10 @@ func (p *Pipeline) issueInt(g seltree.Grant) {
 	p.rf.ChargeRead(g.Unit, ops)
 
 	var lat int
-	switch e.inst.Op {
+	switch e.op {
 	case isa.OpMul:
 		p.ebus.Inc(p.sIntMul[g.Unit])
-		e.value = isa.ALUResult(e.inst.Op, p.physInt[e.src1Phys], p.physInt[e.src2Phys])
+		e.value = isa.ALUResult(e.op, p.physInt[e.src1Phys], p.physInt[e.src2Phys])
 		lat = p.cfg.IntMulLatency
 	case isa.OpBr:
 		p.ebus.Inc(p.sIntALU[g.Unit])
@@ -620,7 +787,7 @@ func (p *Pipeline) issueInt(g seltree.Grant) {
 		lat = p.cfg.IntALULatency
 	default:
 		p.ebus.Inc(p.sIntALU[g.Unit])
-		e.value = isa.ALUResult(e.inst.Op, p.physInt[e.src1Phys], p.physInt[e.src2Phys])
+		e.value = isa.ALUResult(e.op, p.physInt[e.src1Phys], p.physInt[e.src2Phys])
 		lat = p.cfg.IntALULatency
 	}
 	p.schedule(g.ID, lat)
@@ -641,7 +808,7 @@ func (p *Pipeline) loadLatency(e *robEntry) int {
 		start = p.portFree[best]
 	}
 	p.portFree[best] = start + 1
-	lat, _ := p.mem.Data(e.inst.Addr)
+	lat, _ := p.mem.Data(e.addr)
 	p.ebus.Inc(p.sDcache)
 	return int(start-p.cycle) + lat
 }
@@ -655,19 +822,33 @@ func (p *Pipeline) loadValue(e *robEntry) uint64 {
 		found   bool
 		val     uint64
 	)
-	idx := p.rob.lsqHead
-	for n := 0; n < p.rob.lsqCount; n++ {
-		le := &p.rob.lsq[idx]
-		if le.isStore && le.seq < e.inst.Seq && le.addr == e.inst.Addr &&
-			(!found || le.seq > bestSeq) {
-			bestSeq, val, found = le.seq, le.data, true
+	if p.lsqMaskOK {
+		// Visit only the slots holding stores; picking the max sequence
+		// number is order-independent, so mask order equals ring order.
+		for m := p.storeMask; m != 0; m &= m - 1 {
+			le := &p.rob.lsq[bits.TrailingZeros64(m)]
+			if le.seq < e.seq && le.addr == e.addr &&
+				(!found || le.seq > bestSeq) {
+				bestSeq, val, found = le.seq, le.data, true
+			}
 		}
-		idx = (idx + 1) % len(p.rob.lsq)
+	} else {
+		idx := p.rob.lsqHead
+		for n := 0; n < p.rob.lsqCount; n++ {
+			le := &p.rob.lsq[idx]
+			if le.isStore && le.seq < e.seq && le.addr == e.addr &&
+				(!found || le.seq > bestSeq) {
+				bestSeq, val, found = le.seq, le.data, true
+			}
+			if idx++; idx == len(p.rob.lsq) {
+				idx = 0
+			}
+		}
 	}
 	if found {
 		return val
 	}
-	return p.committedMem.ReadMem(e.inst.Addr)
+	return p.committedMem.ReadMem(e.addr)
 }
 
 func (p *Pipeline) issueFPAdd(g seltree.Grant) {
@@ -678,7 +859,7 @@ func (p *Pipeline) issueFPAdd(g seltree.Grant) {
 	p.Issued++
 	p.ebus.Inc(p.sFPAdd[g.Unit])
 	p.ebus.IncN(p.sFPRegRead, 2)
-	e.value = isa.ALUResult(e.inst.Op, p.physFP[e.src1Phys], p.physFP[e.src2Phys])
+	e.value = isa.ALUResult(e.op, p.physFP[e.src1Phys], p.physFP[e.src2Phys])
 	p.schedule(g.ID, p.cfg.FPAddLatency)
 }
 
@@ -690,7 +871,7 @@ func (p *Pipeline) issueFPMul(g seltree.Grant) {
 	p.Issued++
 	p.ebus.Inc(p.sFPMulOp)
 	p.ebus.IncN(p.sFPRegRead, 2)
-	e.value = isa.ALUResult(e.inst.Op, p.physFP[e.src1Phys], p.physFP[e.src2Phys])
+	e.value = isa.ALUResult(e.op, p.physFP[e.src1Phys], p.physFP[e.src2Phys])
 	p.schedule(g.ID, p.cfg.FPMulLatency)
 }
 
@@ -701,7 +882,7 @@ func (p *Pipeline) schedule(id int32, lat int) {
 	if lat >= completionRing {
 		panic(fmt.Sprintf("pipeline: latency %d exceeds completion ring", lat))
 	}
-	at := (p.cycle + int64(lat)) % completionRing
+	at := uint64(p.cycle+int64(lat)) & (completionRing - 1)
 	p.completions[at] = append(p.completions[at], id)
 }
 
@@ -711,15 +892,13 @@ func (p *Pipeline) frontendStage() {
 	if p.fetchOff || p.mispredictInFlight || p.cycle < p.fetchResume {
 		return
 	}
-	for n := 0; n < p.cfg.FetchWidth; n++ {
+	for n := 0; n < p.fetchWidth; n++ {
 		if p.maxFetched > 0 && p.Fetched >= p.maxFetched {
 			return
 		}
-		if !p.hasNext {
-			p.nextInst = p.gen.Next()
-			p.hasNext = true
-		}
-		in := &p.nextInst
+		// Peek keeps the instruction in the generator's ring across stall
+		// returns; it is only consumed (Advance) once dispatched.
+		in := p.gen.Peek()
 
 		// Structural resources.
 		if p.rob.count >= len(p.rob.entries) {
@@ -751,7 +930,7 @@ func (p *Pipeline) frontendStage() {
 		}
 
 		// Instruction cache: one access per new line.
-		line := in.PC / uint64(p.cfg.L1LineB)
+		line := in.PC >> p.lineShift
 		if line != p.curLine {
 			p.curLine = line
 			lat, lvl := p.mem.Inst(in.PC)
@@ -780,8 +959,8 @@ func (p *Pipeline) frontendStage() {
 			}
 		}
 
-		p.dispatch(*in, fp)
-		p.hasNext = false
+		p.dispatch(in, fp)
+		p.gen.Advance()
 		p.Fetched++
 		if endGroup {
 			if p.mispredictInFlight {
@@ -797,11 +976,24 @@ func (p *Pipeline) frontendStage() {
 // dispatch renames the instruction, allocates active-list/LSQ entries and
 // inserts it into its issue queue. Resource availability was checked by
 // the caller.
-func (p *Pipeline) dispatch(in isa.Inst, fp bool) {
+func (p *Pipeline) dispatch(in *isa.Inst, fp bool) {
 	idx := int32(p.rob.tail)
 	e := &p.rob.entries[idx]
-	*e = robEntry{inst: in, state: slotInQueue, fp: fp, lsqIdx: -1,
-		destPhys: -1, prevPhys: -1, src1Phys: -1, src2Phys: -1}
+	// Field stores instead of a struct literal: the literal builds a ~100-byte
+	// temporary and duff-copies it over the slot every dispatch. The wakeup
+	// link fields (wnext/sNext) need no clearing — they are written at list
+	// registration and only read while the entry is on that list.
+	e.op, e.seq, e.addr = in.Op, in.Seq, in.Addr
+	e.state = slotInQueue
+	e.fp = fp
+	e.destPhys, e.prevPhys = -1, -1
+	e.src1Phys, e.src2Phys = -1, -1
+	e.lsqIdx = -1
+	e.unit = 0
+	e.mispredct = false
+	e.value = 0
+	e.waitCnt = 0
+	e.destFP = false
 
 	// Rename sources through the map table of the queue's side (FP loads
 	// source their address from the integer file).
@@ -828,6 +1020,7 @@ func (p *Pipeline) dispatch(in isa.Inst, fp bool) {
 			p.freeFP = p.freeFP[:len(p.freeFP)-1]
 			e.prevPhys = p.ratFP[in.Dest]
 			e.destPhys = newPhys
+			e.destFP = true
 			p.ratFP[in.Dest] = newPhys
 			p.readyFP[newPhys] = false
 		} else {
@@ -844,9 +1037,12 @@ func (p *Pipeline) dispatch(in isa.Inst, fp bool) {
 		l := int32(p.rob.lsqTail)
 		p.rob.lsq[l] = lsqEntry{rob: idx, seq: in.Seq, isStore: in.Op == isa.OpStore, addr: in.Addr}
 		if in.Op == isa.OpStore {
-			p.unresolved = append(p.unresolved, storeRef{seq: in.Seq, addr: in.Addr})
+			p.unresolved = append(p.unresolved, storeRef{seq: in.Seq, addr: in.Addr, rob: idx})
+			p.storeMask |= 1 << uint(l)
 		}
-		p.rob.lsqTail = (p.rob.lsqTail + 1) % len(p.rob.lsq)
+		if p.rob.lsqTail++; p.rob.lsqTail == len(p.rob.lsq) {
+			p.rob.lsqTail = 0
+		}
 		p.rob.lsqCount++
 		e.lsqIdx = l
 		p.ebus.Inc(p.sLSQ)
@@ -857,7 +1053,38 @@ func (p *Pipeline) dispatch(in isa.Inst, fp bool) {
 	} else {
 		p.intQ.Dispatch(idx)
 	}
-	p.rob.tail = (p.rob.tail + 1) % len(p.rob.entries)
+
+	// Event-driven wakeup: register on each unready source register's
+	// waiter list; born-ready instructions head straight for the next
+	// wakeupStage (possibly via a blocking store's list). The scan path
+	// discovers the same readiness by polling srcReady/loadBlocked.
+	if !p.scanWakeup {
+		wc := uint8(0)
+		ready := p.readyInt
+		heads := p.waitHeadInt
+		if fp {
+			ready = p.readyFP
+			heads = p.waitHeadFP
+		}
+		if e.src1Phys >= 0 && !ready[e.src1Phys] {
+			e.wnext[0] = heads[e.src1Phys]
+			heads[e.src1Phys] = idx * 2
+			wc++
+		}
+		if e.src2Phys >= 0 && !ready[e.src2Phys] {
+			e.wnext[1] = heads[e.src2Phys]
+			heads[e.src2Phys] = idx*2 + 1
+			wc++
+		}
+		e.waitCnt = wc
+		if wc == 0 {
+			p.maybeWake(idx, e)
+		}
+	}
+
+	if p.rob.tail++; p.rob.tail == len(p.rob.entries) {
+		p.rob.tail = 0
+	}
 	p.rob.count++
 }
 
@@ -937,6 +1164,8 @@ func (p *Pipeline) ArchState() *isa.State {
 	for k, v := range p.committedMem.Mem {
 		s.Mem[k] = v
 	}
+	s.Hot = append([]uint64(nil), p.committedMem.Hot...)
+	s.Warm = append([]uint64(nil), p.committedMem.Warm...)
 	s.Stream = append([]uint64(nil), p.committedMem.Stream...)
 	return s
 }

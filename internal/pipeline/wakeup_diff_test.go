@@ -1,0 +1,227 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// The event-driven wakeup (per-register waiter lists, per-store wake
+// lists) replaced the reference per-cycle scan as a pure data-structure
+// optimization: the set of instructions that become ready each cycle, and
+// therefore every grant, counter, and joule downstream, must be identical.
+// These tests drive a scan-based and an event-driven pipeline in lockstep
+// over the same trace and fail on the first cycle the two diverge.
+
+// diffPair holds the two pipelines under lockstep comparison.
+type diffPair struct {
+	scan, event *Pipeline
+}
+
+func newDiffPair(cfg *config.Config, prof trace.Profile) diffPair {
+	ps, _ := newPipe(cfg, prof)
+	ps.SetScanWakeup(true)
+	pe, _ := newPipe(cfg, prof)
+	pe.SetScanWakeup(false)
+	return diffPair{scan: ps, event: pe}
+}
+
+// step advances both pipelines one cycle and compares every piece of
+// scheduler-visible state the wakeup implementation could influence.
+func (d diffPair) step(t *testing.T, cycle int) {
+	t.Helper()
+	d.scan.Cycle()
+	d.event.Cycle()
+
+	for _, q := range []struct {
+		name        string
+		scan, event interface {
+			ReadyMask() uint64
+			WaitMask() uint64
+			Occupancy() int
+			Mode() int
+		}
+	}{
+		{"intQ", d.scan.IntQueue(), d.event.IntQueue()},
+		{"fpQ", d.scan.FPQueue(), d.event.FPQueue()},
+	} {
+		if a, b := q.scan.ReadyMask(), q.event.ReadyMask(); a != b {
+			t.Fatalf("cycle %d: %s ready mask scan=%#x event=%#x", cycle, q.name, a, b)
+		}
+		if a, b := q.scan.WaitMask(), q.event.WaitMask(); a != b {
+			t.Fatalf("cycle %d: %s wait mask scan=%#x event=%#x", cycle, q.name, a, b)
+		}
+		if a, b := q.scan.Occupancy(), q.event.Occupancy(); a != b {
+			t.Fatalf("cycle %d: %s occupancy scan=%d event=%d", cycle, q.name, a, b)
+		}
+		if a, b := q.scan.Mode(), q.event.Mode(); a != b {
+			t.Fatalf("cycle %d: %s mode scan=%d event=%d", cycle, q.name, a, b)
+		}
+	}
+	if d.scan.Issued != d.event.Issued {
+		t.Fatalf("cycle %d: issued scan=%d event=%d", cycle, d.scan.Issued, d.event.Issued)
+	}
+	if d.scan.Committed != d.event.Committed {
+		t.Fatalf("cycle %d: committed scan=%d event=%d", cycle, d.scan.Committed, d.event.Committed)
+	}
+	if d.scan.Fetched != d.event.Fetched {
+		t.Fatalf("cycle %d: fetched scan=%d event=%d", cycle, d.scan.Fetched, d.event.Fetched)
+	}
+}
+
+// finish compares end-of-run aggregates: per-unit grant order totals,
+// issue-queue event counters, the full stats-bus lifetime (event counts
+// AND accumulated joules per slot), and the architectural state.
+func (d diffPair) finish(t *testing.T) {
+	t.Helper()
+	for _, pp := range []struct {
+		name        string
+		scan, event interface {
+			Units() int
+			GrantCount(int) uint64
+		}
+	}{
+		{"int", d.scan.IntPool(), d.event.IntPool()},
+		{"fpAdd", d.scan.FPAddPool(), d.event.FPAddPool()},
+		{"fpMul", d.scan.FPMulPool(), d.event.FPMulPool()},
+	} {
+		for u := 0; u < pp.scan.Units(); u++ {
+			if a, b := pp.scan.GrantCount(u), pp.event.GrantCount(u); a != b {
+				t.Errorf("%s pool unit %d grants scan=%d event=%d", pp.name, u, a, b)
+			}
+		}
+	}
+	sq, eq := d.scan.IntQueue(), d.event.IntQueue()
+	for i, pair := range [][2]uint64{
+		{sq.Dispatches, eq.Dispatches},
+		{sq.Issues, eq.Issues},
+		{sq.Compactions, eq.Compactions},
+		{sq.Moves, eq.Moves},
+		{sq.WrapMoves, eq.WrapMoves},
+		{sq.HalfMoves[0], eq.HalfMoves[0]},
+		{sq.HalfMoves[1], eq.HalfMoves[1]},
+		{sq.HalfOccupied[0], eq.HalfOccupied[0]},
+		{sq.HalfOccupied[1], eq.HalfOccupied[1]},
+	} {
+		if pair[0] != pair[1] {
+			t.Errorf("intQ counter %d scan=%d event=%d", i, pair[0], pair[1])
+		}
+	}
+
+	sb, eb := d.scan.meter.Bus(), d.event.meter.Bus()
+	if sb.NumSlots() != eb.NumSlots() {
+		t.Fatalf("stats bus slot count scan=%d event=%d", sb.NumSlots(), eb.NumSlots())
+	}
+	for s := 0; s < sb.NumSlots(); s++ {
+		id := stats.SlotID(s)
+		if a, b := sb.LifetimeCount(id), eb.LifetimeCount(id); a != b {
+			t.Errorf("slot %q count scan=%d event=%d", sb.Name(id), a, b)
+		}
+		if a, b := sb.LifetimeEnergy(id), eb.LifetimeEnergy(id); a != b {
+			t.Errorf("slot %q energy scan=%g event=%g", sb.Name(id), a, b)
+		}
+	}
+
+	if diff := d.scan.ArchState().Diff(d.event.ArchState()); diff != "" {
+		t.Errorf("architectural state diverged: %s", diff)
+	}
+}
+
+// TestEventWakeupMatchesScanAllTechniques runs the lockstep comparison
+// over every IQ × ALU technique combination on both an integer-heavy and
+// an FP-heavy trace.
+func TestEventWakeupMatchesScanAllTechniques(t *testing.T) {
+	iqs := []config.IQPolicy{config.IQBase, config.IQToggle, config.IQNonCompacting}
+	alus := []config.ALUPolicy{config.ALUBase, config.ALURoundRobin}
+	for _, profName := range []string{"eon", "swim"} {
+		prof, err := trace.ByName(profName)
+		if err != nil {
+			t.Fatalf("profile %s: %v", profName, err)
+		}
+		for _, iq := range iqs {
+			for _, alu := range alus {
+				iq, alu := iq, alu
+				t.Run(fmt.Sprintf("%s/iq=%s/alu=%s", profName, iq, alu), func(t *testing.T) {
+					t.Parallel()
+					cfg := config.Default()
+					cfg.Techniques.IQ = iq
+					cfg.Techniques.ALU = alu
+					d := newDiffPair(cfg, prof)
+					const n = 6000
+					d.scan.SetFetchLimit(n)
+					d.event.SetFetchLimit(n)
+					for c := 0; d.scan.Committed < n; c++ {
+						d.step(t, c)
+						if c > 100*n {
+							t.Fatal("no forward progress")
+						}
+					}
+					d.finish(t)
+				})
+			}
+		}
+	}
+}
+
+// TestEventWakeupMatchesScanUnderModeChurn toggles the issue-queue mode
+// and flips ALU busy bits mid-flight (the thermal manager's actions) on
+// both pipelines at the same cycles, exercising wakeup across origin
+// rotations and busy-masked select trees.
+func TestEventWakeupMatchesScanUnderModeChurn(t *testing.T) {
+	prof, _ := trace.ByName("eon")
+	cfg := config.Default()
+	cfg.Techniques.IQ = config.IQToggle
+	d := newDiffPair(cfg, prof)
+	const n = 8000
+	d.scan.SetFetchLimit(n)
+	d.event.SetFetchLimit(n)
+	for c := 0; d.scan.Committed < n; c++ {
+		if c%257 == 200 {
+			d.scan.IntQueue().Toggle()
+			d.event.IntQueue().Toggle()
+		}
+		if c%403 == 100 {
+			u := (c / 403) % d.scan.IntPool().Units()
+			busy := !d.scan.IntPool().Busy(u)
+			d.scan.IntPool().SetBusy(u, busy)
+			d.event.IntPool().SetBusy(u, busy)
+		}
+		d.step(t, c)
+		if c > 100*n {
+			t.Fatal("no forward progress")
+		}
+	}
+	d.finish(t)
+}
+
+// TestEventWakeupMatchesScanRandomProfiles sweeps randomized profile
+// variants (different seeds and dependency distances) through the
+// lockstep harness with the base techniques.
+func TestEventWakeupMatchesScanRandomProfiles(t *testing.T) {
+	base, _ := trace.ByName("mcf")
+	for i := 0; i < 4; i++ {
+		i := i
+		t.Run(fmt.Sprintf("variant%d", i), func(t *testing.T) {
+			t.Parallel()
+			prof := base
+			prof.Name = fmt.Sprintf("mcf-var%d", i)
+			prof.Seed = 0xD1F5 + uint64(i)*977
+			prof.DepDist = 2 + float64(i)
+			cfg := config.Default()
+			d := newDiffPair(cfg, prof)
+			const n = 5000
+			d.scan.SetFetchLimit(n)
+			d.event.SetFetchLimit(n)
+			for c := 0; d.scan.Committed < n; c++ {
+				d.step(t, c)
+				if c > 100*n {
+					t.Fatal("no forward progress")
+				}
+			}
+			d.finish(t)
+		})
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !scanwakeup
+
+package pipeline
+
+// defaultScanWakeup selects the wakeup implementation new pipelines start
+// with. The default build uses the event-driven path; building with
+// -tags scanwakeup flips every pipeline to the reference per-cycle scan
+// (wakeQueue/srcReady/loadBlocked), which the differential tests prove
+// schedule-identical. SetScanWakeup overrides per pipeline.
+const defaultScanWakeup = false

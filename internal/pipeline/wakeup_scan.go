@@ -1,0 +1,8 @@
+//go:build scanwakeup
+
+package pipeline
+
+// defaultScanWakeup: the scanwakeup build tag makes the reference
+// scan-based wakeup the default, so the whole suite (including the fig6
+// golden) can be run against the original implementation.
+const defaultScanWakeup = true

@@ -8,6 +8,8 @@
 // synthesis and far cheaper than math/rand's default source.
 package rng
 
+import "math"
+
 // Source is a deterministic xorshift128+ generator. The zero value is not
 // usable; construct with New.
 type Source struct {
@@ -57,6 +59,12 @@ func (s *Source) Intn(n int) int {
 	if n <= 0 {
 		panic("rng: Intn with non-positive n")
 	}
+	if n&(n-1) == 0 {
+		// Power-of-two bound: the mask equals the modulo bit for bit, and
+		// skips the 64-bit division (n is a variable here, so the compiler
+		// cannot strength-reduce it).
+		return int(s.Uint64() & uint64(n-1))
+	}
 	return int(s.Uint64() % uint64(n))
 }
 
@@ -70,16 +78,61 @@ func (s *Source) Bool(p float64) bool {
 	return s.Float64() < p
 }
 
+// U53 returns the next draw's 53-bit mantissa sample — the integer u>>11
+// that Float64 scales into [0, 1). Exposed so hot callers can compare the
+// draw against Threshold-precomputed bounds in the integer domain.
+func (s *Source) U53() uint64 {
+	return s.Uint64() >> 11
+}
+
+// Threshold converts a probability p in [0, 1] into the integer bound t
+// such that U53() < t holds exactly when Float64() < p holds for the same
+// draw: Float64() < p over the 53-bit sample u is, in exact arithmetic,
+// u < p*2^53 (both scalings by 2^53 are exact for p in [0, 1]), and for an
+// integer left side that is u < ceil(p*2^53). p <= 0 maps to 0 (never).
+func Threshold(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	return uint64(math.Ceil(p * (1 << 53)))
+}
+
+// BoolT returns true with the probability encoded by Threshold.
+func (s *Source) BoolT(t uint64) bool {
+	return s.U53() < t
+}
+
 // Geometric returns a sample from a geometric distribution with the given
 // mean (mean >= 1). It is used for dependency distances and burst lengths.
 // The returned value is at least 1.
 func (s *Source) Geometric(mean float64) int {
+	return s.GeometricT(GeometricThreshold(mean))
+}
+
+// GeometricThreshold precomputes the per-trial threshold for GeometricT,
+// hoisting the 1/mean division out of hot loops that sample the same
+// distribution repeatedly. The zero threshold encodes mean <= 1 (the
+// sample is always 1, no random draw).
+//
+// The trial Float64() < p over the 53-bit mantissa draw u>>11 is, in exact
+// arithmetic, u>>11 < p*2^53 (both scalings by 2^53 are exact), and for an
+// integer left side that is u>>11 < ceil(p*2^53) — so a single integer
+// compare per trial reproduces the float comparison bit for bit.
+func GeometricThreshold(mean float64) uint64 {
 	if mean <= 1 {
+		return 0
+	}
+	return uint64(math.Ceil((1 / mean) * (1 << 53)))
+}
+
+// GeometricT samples the geometric distribution whose threshold t was
+// produced by GeometricThreshold.
+func (s *Source) GeometricT(t uint64) int {
+	if t == 0 {
 		return 1
 	}
-	p := 1 / mean
 	n := 1
-	for !s.Bool(p) {
+	for s.Uint64()>>11 >= t {
 		n++
 		if n >= 1<<20 {
 			break

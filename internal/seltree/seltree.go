@@ -49,6 +49,10 @@ type Pool struct {
 
 	busy []bool // per-unit busy (thermal turnoff or structural)
 
+	// Half masks of the request vector, fixed at construction so the
+	// per-grant treeSelect does no shift arithmetic.
+	lowMask, highMask uint64
+
 	bus        *stats.Bus
 	grantSlots []stats.SlotID // one zero-joule slot per unit
 
@@ -76,6 +80,8 @@ func NewPool(entries, units int) *Pool {
 		busy:    make([]bool, units),
 		Grants:  make([]uint64, units),
 	}
+	p.lowMask = uint64(1)<<uint(entries/2) - 1
+	p.highMask = p.lowMask << uint(entries/2)
 	// Bind a pool-private bus so the grant path never branches on whether
 	// telemetry is attached; the pipeline rebinds to the meter's bus.
 	blocks := make([]int, units)
@@ -177,6 +183,9 @@ func (p *Pool) Select(req []int32, grants []Grant, maxGrants int) []Grant {
 // for them, which is also true of the hardware select tree — the payload
 // RAM is read after select, not during).
 func (p *Pool) SelectMask(reqMask uint64, grants []Grant, maxGrants int) []Grant {
+	if reqMask == 0 {
+		return grants
+	}
 	issued := 0
 	for t := 0; t < p.units; t++ {
 		if maxGrants >= 0 && issued >= maxGrants {
@@ -213,12 +222,9 @@ func (p *Pool) SelectMask(reqMask uint64, grants []Grant, maxGrants int) []Grant
 // every level of the L1/L2 arbiters, the whole subtree reduces to
 // find-first-set over the half's bits, which is gate-equivalent.
 func (p *Pool) treeSelect(reqMask uint64) int {
-	half := uint(p.entries / 2)
-	lowMask := uint64(1)<<half - 1
-	highMask := lowMask << half
-	first, second := lowMask, highMask
+	first, second := p.lowMask, p.highMask
 	if p.preferTop {
-		first, second = highMask, lowMask
+		first, second = p.highMask, p.lowMask
 	}
 	if m := reqMask & first; m != 0 {
 		return bits.TrailingZeros64(m)

@@ -1,0 +1,62 @@
+package sim_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// TestIntervalAllocBudget locks the steady-state heap traffic of a full
+// sensor interval (pipeline cycles + meter drain + thermal step) to zero.
+// The hot loop's data structures — completion rings, wakeup lists, the
+// dense committed-memory regions — are all pre-sized or amortized; a
+// regression that reintroduces per-interval allocation (as the sparse
+// memory map once did, ~6 KB per interval) fails here long before it is
+// visible on a profile.
+func TestIntervalAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a long warmup to reach steady state")
+	}
+	cfg := config.Default()
+	s, err := sim.NewByName(cfg, "eon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Pipe.Warmup(200_000)
+	interval := cfg.SensorIntervalCycles
+	dt := float64(interval) * cfg.ThermalSecondsPerCycle()
+	pow := make([]float64, s.Plan.NumBlocks())
+
+	// Drive past the working-set growth phase (completion rings, the
+	// dense committed-memory image) so the measured region is steady
+	// state, mirroring BenchmarkSimInterval.
+	for c := 0; c < 600_000; c++ {
+		s.Pipe.Cycle()
+	}
+	s.Th.Advance(s.Meter.Drain(600_000, 0, pow), dt)
+
+	const intervals = 20
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < intervals; i++ {
+		for c := 0; c < interval; c++ {
+			s.Pipe.Cycle()
+		}
+		s.Th.Advance(s.Meter.Drain(interval, 0, pow), dt)
+	}
+	runtime.ReadMemStats(&after)
+
+	mallocs := after.Mallocs - before.Mallocs
+	bytes := after.TotalAlloc - before.TotalAlloc
+	// The dense memory regions still grow by an append when the trace
+	// first touches a new high-water address, so allow a handful of
+	// amortized growth events but nothing per-interval.
+	const mallocBudget = 8
+	if mallocs > mallocBudget {
+		t.Errorf("steady-state intervals allocated %d times (%d bytes) over %d intervals; budget %d allocations",
+			mallocs, bytes, intervals, mallocBudget)
+	}
+}

@@ -41,12 +41,52 @@ type Generator struct {
 	phaseLeft  int
 	inBurst    bool
 	phaseScale float64
+
+	// Cumulative op-class thresholds in rng.Threshold's integer domain,
+	// hoisted from the per-instruction switch. Each encodes the
+	// corresponding left-to-right sum of profile fractions, so comparing
+	// the 53-bit draw against them is bit-identical to the float
+	// comparisons over the inline sums.
+	tLoad, tStore, tBranch, tFPAdd, tFPMul, tIntMul uint64
+
+	// Memory-region thresholds (ColdFrac, then ColdFrac+WarmFrac — the
+	// same left-to-right sum memAddr's switch used to compute).
+	tCold, tColdWarm uint64
+
+	// Per-branch-site taken thresholds (rng.Threshold of siteBias), plus
+	// the fixed cursor-advance threshold (0.9) and FP-load threshold.
+	tSiteBias []uint64
+	tCursor   uint64
+	tLoadFP   uint64
+
+	// Cached geometric-trial thresholds for the value- and
+	// address-dependency distances (rng.GeometricThreshold of depDist()
+	// and depDist()*AddrDepFactor). They change only at phase
+	// transitions; caching hoists a float division out of every source
+	// register draw.
+	tDep, tAddr uint64
+
+	// Decoded-instruction ring: refill generates genBatch instructions in
+	// one tight pass (same rng draw order as one-at-a-time generation, so
+	// the stream is byte-identical), and Peek/Advance hand them out
+	// without copying. burst records each slot's phase so InBurst tracks
+	// the consumed instruction, not the read-ahead.
+	buf       [genBatch]isa.Inst
+	burst     [genBatch]bool
+	bufPos    int
+	bufLen    int
+	lastBurst bool
 }
 
+// genBatch is the decoded-op ring size: large enough to amortize refill
+// overhead, small enough that read-ahead stays a fraction of a sensor
+// interval.
+const genBatch = 64
+
 const (
-	histLen   = 64
-	hotBase   = 0x1000_0000
-	warmBase  = 0x2000_0000
+	histLen   = 64           // register-history ring; must stay a power of two (indexed by & (histLen-1))
+	hotBase   = isa.HotBase  // dense hot region in isa.State
+	warmBase  = isa.WarmBase // dense warm region in isa.State
 	codeBase  = 0x0040_0000
 	lineBytes = 64
 )
@@ -109,6 +149,26 @@ func NewGenerator(p Profile) *Generator {
 		g.phaseLeft = p.PhaseLen
 	}
 	g.phaseScale = 1
+	cLoad := p.FracLoad
+	cStore := cLoad + p.FracStore
+	cBranch := cStore + p.FracBranch
+	cFPAdd := cBranch + p.FracFPAdd
+	cFPMul := cFPAdd + p.FracFPMul
+	g.tLoad = rng.Threshold(cLoad)
+	g.tStore = rng.Threshold(cStore)
+	g.tBranch = rng.Threshold(cBranch)
+	g.tFPAdd = rng.Threshold(cFPAdd)
+	g.tFPMul = rng.Threshold(cFPMul)
+	g.tIntMul = rng.Threshold(cFPMul + p.FracIntMul)
+	g.tCold = rng.Threshold(p.ColdFrac)
+	g.tColdWarm = rng.Threshold(p.ColdFrac + p.WarmFrac)
+	g.tSiteBias = make([]uint64, len(g.siteBias))
+	for i, b := range g.siteBias {
+		g.tSiteBias[i] = rng.Threshold(b)
+	}
+	g.tCursor = rng.Threshold(0.9)
+	g.tLoadFP = rng.Threshold(p.FracLoadFP)
+	g.refreshDepThresholds()
 	return g
 }
 
@@ -129,24 +189,32 @@ func (g *Generator) depDist() float64 {
 	return g.prof.DepDist
 }
 
+// refreshDepThresholds recomputes the cached geometric-trial thresholds
+// from the current phase state. Must be called whenever depDist()'s inputs
+// change (construction and phase transitions).
+func (g *Generator) refreshDepThresholds() {
+	d := g.depDist()
+	g.tDep = rng.GeometricThreshold(d)
+	g.tAddr = rng.GeometricThreshold(d * g.prof.AddrDepFactor)
+}
+
 // srcReg picks a source register at a geometric dependency distance from
 // the history of the given register file.
 func (g *Generator) srcReg(hist []int8) int8 {
-	return g.srcRegAt(hist, g.depDist())
+	return g.histAt(hist, g.r.GeometricT(g.tDep))
 }
 
 // addrReg picks a memory-operation base register at the profile's
 // address-dependency distance (typically much older than value operands).
 func (g *Generator) addrReg() int8 {
-	return g.srcRegAt(g.intHist, g.depDist()*g.prof.AddrDepFactor)
+	return g.histAt(g.intHist, g.r.GeometricT(g.tAddr))
 }
 
-func (g *Generator) srcRegAt(hist []int8, mean float64) int8 {
-	d := g.r.Geometric(mean)
+func (g *Generator) histAt(hist []int8, d int) int8 {
 	if d > histLen {
 		d = histLen
 	}
-	return hist[(int(g.seq)+histLen-d)%histLen]
+	return hist[(int(g.seq)+histLen-d)&(histLen-1)]
 }
 
 // destReg allocates the next destination register round-robin, recording
@@ -154,7 +222,7 @@ func (g *Generator) srcRegAt(hist []int8, mean float64) int8 {
 func (g *Generator) destReg(hist []int8, nregs int) int8 {
 	g.nextReg++
 	reg := int8(g.nextReg % nregs)
-	hist[int(g.seq)%histLen] = reg
+	hist[int(g.seq)&(histLen-1)] = reg
 	return reg
 }
 
@@ -164,8 +232,8 @@ func (g *Generator) destReg(hist []int8, nregs int) int8 {
 // this, dependency distances in the less-active register file dereference
 // stale ring entries and silently stretch (inflating ILP).
 func (g *Generator) carryHistories(wroteInt, wroteFP bool) {
-	i := int(g.seq) % histLen
-	prev := (i + histLen - 1) % histLen
+	i := int(g.seq) & (histLen - 1)
+	prev := (i + histLen - 1) & (histLen - 1)
 	if !wroteInt {
 		g.intHist[i] = g.intHist[prev]
 	}
@@ -176,14 +244,14 @@ func (g *Generator) carryHistories(wroteInt, wroteFP bool) {
 
 // memAddr draws an effective address from the profile's working sets.
 func (g *Generator) memAddr() uint64 {
-	x := g.r.Float64()
+	x := g.r.U53()
 	switch {
-	case x < g.prof.ColdFrac:
+	case x < g.tCold:
 		// Streaming access: advance word by word through memory, so one
 		// cache line serves several accesses before the stream misses.
 		g.coldPtr += 8
 		return ColdBase + g.coldPtr
-	case x < g.prof.ColdFrac+g.prof.WarmFrac:
+	case x < g.tColdWarm:
 		return warmBase + uint64(g.r.Intn(g.prof.WarmSetBytes/8))*8
 	default:
 		return hotBase + uint64(g.r.Intn(g.prof.HotSetBytes/8))*8
@@ -192,6 +260,40 @@ func (g *Generator) memAddr() uint64 {
 
 // Next produces the next dynamic instruction.
 func (g *Generator) Next() isa.Inst {
+	in := *g.Peek()
+	g.Advance()
+	return in
+}
+
+// Peek returns the next instruction without consuming it. The pointer
+// stays valid until the following Advance; the frontend uses it to retry
+// dispatch across stall cycles without copying the instruction.
+func (g *Generator) Peek() *isa.Inst {
+	if g.bufPos == g.bufLen {
+		g.refill()
+	}
+	return &g.buf[g.bufPos]
+}
+
+// Advance consumes the instruction last returned by Peek.
+func (g *Generator) Advance() {
+	g.lastBurst = g.burst[g.bufPos]
+	g.bufPos++
+}
+
+// refill generates the next genBatch instructions into the ring in one
+// pass. The rng is consumed in exactly the per-instruction order, so the
+// stream is byte-identical to unbatched generation.
+func (g *Generator) refill() {
+	for i := range g.buf {
+		g.genOne(&g.buf[i])
+		g.burst[i] = g.inBurst
+	}
+	g.bufPos, g.bufLen = 0, genBatch
+}
+
+// genOne generates one dynamic instruction into *in.
+func (g *Generator) genOne(in *isa.Inst) {
 	// Phase bookkeeping.
 	if g.prof.PhaseLen > 0 {
 		g.phaseLeft--
@@ -210,21 +312,27 @@ func (g *Generator) Next() isa.Inst {
 			if g.phaseLeft <= 0 {
 				g.phaseLeft = 1
 			}
+			g.refreshDepThresholds()
 		}
 	}
 
-	in := isa.Inst{Seq: g.seq, PC: codeBase + (g.pc % uint64(g.prof.CodeFootprint))}
+	// g.pc is maintained pre-wrapped into [0, CodeFootprint): the +4 stride
+	// with a conditional subtract is the same sequence as pc%footprint over
+	// a monotonic pc, without the per-instruction division.
+	*in = isa.Inst{Seq: g.seq, PC: codeBase + g.pc}
 	g.pc += 4
+	for g.pc >= uint64(g.prof.CodeFootprint) {
+		g.pc -= uint64(g.prof.CodeFootprint)
+	}
 
-	p := g.prof
-	x := g.r.Float64()
+	x := g.r.U53()
 	wroteInt, wroteFP := false, false
 	switch {
-	case x < p.FracLoad:
+	case x < g.tLoad:
 		in.Src1 = g.addrReg()
 		in.Src2 = isa.NoReg
 		in.Addr = g.memAddr()
-		if g.r.Bool(p.FracLoadFP) {
+		if g.r.BoolT(g.tLoadFP) {
 			in.Op = isa.OpLoadFP
 			in.Dest = g.destReg(g.fpHist, isa.NumFPRegs)
 			wroteFP = true
@@ -233,16 +341,16 @@ func (g *Generator) Next() isa.Inst {
 			in.Dest = g.destReg(g.intHist, isa.NumIntRegs)
 			wroteInt = true
 		}
-	case x < p.FracLoad+p.FracStore:
+	case x < g.tStore:
 		in.Op = isa.OpStore
 		in.Src1 = g.addrReg()
 		in.Src2 = g.srcReg(g.intHist)
 		in.Dest = isa.NoReg
 		in.Addr = g.memAddr()
-	case x < p.FracLoad+p.FracStore+p.FracBranch:
+	case x < g.tBranch:
 		in.Op = isa.OpBr
 		var site int
-		if g.r.Bool(0.9) {
+		if g.r.BoolT(g.tCursor) {
 			g.siteCursor++
 			if g.siteCursor >= len(g.sitePCs) {
 				g.siteCursor = 0
@@ -255,21 +363,21 @@ func (g *Generator) Next() isa.Inst {
 		in.Src1 = g.srcReg(g.intHist)
 		in.Src2 = isa.NoReg
 		in.Dest = isa.NoReg
-		in.Taken = g.r.Bool(g.siteBias[site])
+		in.Taken = g.r.BoolT(g.tSiteBias[site])
 		in.Target = g.siteTargets[site]
-	case x < p.FracLoad+p.FracStore+p.FracBranch+p.FracFPAdd:
+	case x < g.tFPAdd:
 		in.Op = isa.OpFAdd
 		in.Src1 = g.srcReg(g.fpHist)
 		in.Src2 = g.srcReg(g.fpHist)
 		in.Dest = g.destReg(g.fpHist, isa.NumFPRegs)
 		wroteFP = true
-	case x < p.FracLoad+p.FracStore+p.FracBranch+p.FracFPAdd+p.FracFPMul:
+	case x < g.tFPMul:
 		in.Op = isa.OpFMul
 		in.Src1 = g.srcReg(g.fpHist)
 		in.Src2 = g.srcReg(g.fpHist)
 		in.Dest = g.destReg(g.fpHist, isa.NumFPRegs)
 		wroteFP = true
-	case x < p.FracLoad+p.FracStore+p.FracBranch+p.FracFPAdd+p.FracFPMul+p.FracIntMul:
+	case x < g.tIntMul:
 		in.Op = isa.OpMul
 		in.Src1 = g.srcReg(g.intHist)
 		in.Src2 = g.srcReg(g.intHist)
@@ -287,7 +395,6 @@ func (g *Generator) Next() isa.Inst {
 
 	g.carryHistories(wroteInt, wroteFP)
 	g.seq++
-	return in
 }
 
 // Generate appends n instructions to dst and returns it.
@@ -298,5 +405,8 @@ func (g *Generator) Generate(n int, dst []isa.Inst) []isa.Inst {
 	return dst
 }
 
-// InBurst reports whether the generator is currently in a burst phase.
-func (g *Generator) InBurst() bool { return g.inBurst }
+// InBurst reports whether the most recently consumed instruction (via
+// Next or Advance) was generated in a burst phase; false before any
+// instruction. The ring generates ahead of consumption, so this tracks
+// the consumed position, not the generator's internal phase.
+func (g *Generator) InBurst() bool { return g.lastBurst }

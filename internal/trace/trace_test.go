@@ -252,7 +252,7 @@ func TestStreamIsExecutable(t *testing.T) {
 		for i := 0; i < 20000; i++ {
 			s.Exec(g.Next())
 		}
-		if len(s.Mem) == 0 {
+		if len(s.Mem)+len(s.Hot)+len(s.Warm)+len(s.Stream) == 0 {
 			t.Errorf("%s: no stores executed", name)
 		}
 	}

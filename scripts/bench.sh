@@ -38,6 +38,13 @@ echo "bench: running ${PATTERN} with -benchmem -count=${COUNT}" >&2
 go test -run '^$' -bench "${PATTERN}" -benchmem -count="${COUNT}" . | tee "$RAW" >&2
 
 # Assemble the JSON record: environment, per-sample parse, and the raw
-# benchstat-compatible text.
-go run ./scripts/benchjson "$RAW" > "$OUT"
+# benchstat-compatible text. An existing record's hand-curated baseline
+# section is carried over and the summary recomputed against it.
+PREV=()
+if [[ -s "$OUT" ]]; then
+  PREV=(-prev "$OUT")
+fi
+NEW=$(mktemp)
+go run ./scripts/benchjson "${PREV[@]}" "$RAW" > "$NEW"
+mv "$NEW" "$OUT"
 echo "bench: wrote $OUT" >&2

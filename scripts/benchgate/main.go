@@ -1,0 +1,138 @@
+// Command benchgate is the soft benchmark-regression gate for CI. It
+// compares a freshly measured BENCH record (scripts/bench.sh output)
+// against the checked-in reference and:
+//
+//   - fails (exit 1) if any hot-loop benchmark allocates — the cycle loop
+//     is allocation-free by construction and must stay that way;
+//   - fails if a benchmark's median ns/op regressed more than -fail
+//     percent against the reference AND both records were measured on the
+//     same CPU model;
+//   - warns (exit 0, annotated output) for regressions above -warn
+//     percent, or for any regression when the CPU models differ — a
+//     cross-machine time comparison (the usual CI situation: the
+//     reference is recorded on a developer box) is too noisy to fail on,
+//     but the trend is still worth surfacing in the log.
+//
+// Usage:
+//
+//	go run ./scripts/benchgate -ref BENCH_pipeline.json -new /tmp/bench.json [-warn 5] [-fail 15]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type sample struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type record struct {
+	CPU     string              `json:"cpu"`
+	Samples map[string][]sample `json:"samples"`
+}
+
+func load(path string) (*record, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r record
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Samples) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark samples", path)
+	}
+	return &r, nil
+}
+
+func median(ss []sample) float64 {
+	ns := make([]float64, len(ss))
+	for i, s := range ss {
+		ns[i] = s.NsPerOp
+	}
+	sort.Float64s(ns)
+	if n := len(ns); n%2 == 1 {
+		return ns[n/2]
+	} else {
+		return (ns[n/2-1] + ns[n/2]) / 2
+	}
+}
+
+func main() {
+	refPath := flag.String("ref", "BENCH_pipeline.json", "checked-in reference record")
+	newPath := flag.String("new", "", "freshly measured record to gate")
+	warnPct := flag.Float64("warn", 5, "warn above this median regression (percent)")
+	failPct := flag.Float64("fail", 15, "fail above this median regression (percent, same-CPU records only)")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -new is required")
+		os.Exit(2)
+	}
+	ref, err := load(*refPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+
+	// Allocation gate: unconditional, machine-independent.
+	for name, ss := range cur.Samples {
+		for _, s := range ss {
+			if s.AllocsPerOp != 0 || s.BytesPerOp != 0 {
+				fmt.Printf("FAIL %s: %d B/op, %d allocs/op — the hot loop must stay allocation-free\n",
+					name, s.BytesPerOp, s.AllocsPerOp)
+				failed = true
+				break
+			}
+		}
+	}
+
+	sameCPU := ref.CPU != "" && ref.CPU == cur.CPU
+	if !sameCPU {
+		fmt.Printf("note: reference CPU %q != measured CPU %q; time regressions warn only\n", ref.CPU, cur.CPU)
+	}
+
+	names := make([]string, 0, len(ref.Samples))
+	for name := range ref.Samples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cs, ok := cur.Samples[name]
+		if !ok {
+			fmt.Printf("WARN %s: present in reference, missing from new record\n", name)
+			continue
+		}
+		refMed, curMed := median(ref.Samples[name]), median(cs)
+		deltaPct := (curMed - refMed) / refMed * 100
+		switch {
+		case sameCPU && deltaPct > *failPct:
+			fmt.Printf("FAIL %s: median %.1f → %.1f ns/op (%+.1f%% > %.0f%%)\n",
+				name, refMed, curMed, deltaPct, *failPct)
+			failed = true
+		case deltaPct > *warnPct:
+			fmt.Printf("WARN %s: median %.1f → %.1f ns/op (%+.1f%%)\n",
+				name, refMed, curMed, deltaPct)
+		default:
+			fmt.Printf("ok   %s: median %.1f → %.1f ns/op (%+.1f%%)\n",
+				name, refMed, curMed, deltaPct)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -6,10 +6,12 @@ package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -32,17 +34,45 @@ type record struct {
 	CPU       string              `json:"cpu,omitempty"`
 	Samples   map[string][]sample `json:"samples"`
 	Benchstat string              `json:"benchstat"`
+
+	// Baseline is a hand-curated record of a historical measurement
+	// (currently the pre-stats-bus per-event-deposit meter). It is
+	// carried over verbatim from the previous BENCH file via -prev so
+	// regeneration never loses it; Summary is recomputed against it.
+	Baseline json.RawMessage `json:"baseline,omitempty"`
+	Summary  json.RawMessage `json:"summary,omitempty"`
+}
+
+// baselineSamples is the subset of the baseline section the summary
+// computation needs.
+type baselineSamples struct {
+	Samples map[string][]sample `json:"samples"`
+}
+
+func median(ss []sample) float64 {
+	ns := make([]float64, len(ss))
+	for i, s := range ss {
+		ns[i] = s.NsPerOp
+	}
+	sort.Float64s(ns)
+	if n := len(ns); n%2 == 1 {
+		return ns[n/2]
+	} else {
+		return (ns[n/2-1] + ns[n/2]) / 2
+	}
 }
 
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchjson RAW_BENCH_OUTPUT")
+	prev := flag.String("prev", "", "previous BENCH json; its baseline section is carried over and the summary recomputed")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson [-prev OLD.json] RAW_BENCH_OUTPUT")
 		os.Exit(2)
 	}
-	raw, err := os.ReadFile(os.Args[1])
+	raw, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -75,6 +105,39 @@ func main() {
 		}
 		rec.Samples[s.Name] = append(rec.Samples[s.Name], s)
 	}
+	if *prev != "" {
+		prevRaw, err := os.ReadFile(*prev)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var old record
+		if err := json.Unmarshal(prevRaw, &old); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		rec.Baseline = old.Baseline
+		if len(old.Baseline) > 0 {
+			var base baselineSamples
+			if err := json.Unmarshal(old.Baseline, &base); err == nil {
+				if bs, cs := base.Samples["BenchmarkPipelineCycle"], rec.Samples["BenchmarkPipelineCycle"]; len(bs) > 0 && len(cs) > 0 {
+					bm, cm := median(bs), median(cs)
+					summary := map[string]any{
+						"pipeline_cycle_median_ns_per_op": map[string]float64{
+							"baseline": bm,
+							"current":  cm,
+						},
+						"cycles_per_sec_gain_pct": float64(int(bm/cm*1000-1000)) / 10,
+					}
+					if rec.Summary, err = json.Marshal(summary); err != nil {
+						fmt.Fprintln(os.Stderr, "benchjson:", err)
+						os.Exit(1)
+					}
+				}
+			}
+		}
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rec); err != nil {

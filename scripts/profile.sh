@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Profile the cycle hot loop.
+#
+# Usage:
+#
+#   scripts/profile.sh [-bench PATTERN] [-time DUR] [OUT.prof]
+#
+# Runs the given benchmark (default BenchmarkPipelineCycle) with a CPU
+# profile and prints the pprof top table. The profile file is kept (default
+# /tmp/pipethermal_cpu.prof) for interactive digging:
+#
+#   go tool pprof -http=:8080 /tmp/pipethermal_cpu.prof
+#   go tool pprof -list 'Queue..compact' /tmp/pipethermal_cpu.prof
+#
+# The simulator is a single-threaded pointer-chasing loop: flat self time
+# concentrates in the issue-queue compaction, the wakeup lists, and the
+# trace generator's rng draws. See DESIGN.md ("Scheduler data structures
+# vs. modeled events") before optimizing — many hot counters are modeled
+# hardware events whose counts are locked by the golden tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH='BenchmarkPipelineCycle$'
+TIME=3s
+OUT=/tmp/pipethermal_cpu.prof
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -bench) BENCH="$2"; shift 2 ;;
+    -time) TIME="$2"; shift 2 ;;
+    -h|--help) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) OUT="$1"; shift ;;
+  esac
+done
+
+echo "profile: running ${BENCH} for ${TIME}" >&2
+go test -run '^$' -bench "${BENCH}" -benchtime "${TIME}" -cpuprofile "${OUT}" . >&2
+go tool pprof -top -nodecount=25 "${OUT}"
+echo "profile: wrote ${OUT}" >&2
