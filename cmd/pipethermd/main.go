@@ -7,11 +7,17 @@
 // Usage:
 //
 //	pipethermd [-addr :8080] [-workers N] [-queue N]
-//	           [-cache-entries N] [-cache-dir DIR]
-//	           [-job-timeout D] [-drain-timeout D]
+//	           [-cache-entries N] [-cache-dir DIR] [-journal-dir DIR]
+//	           [-job-timeout D] [-retries N] [-retry-base D]
+//	           [-quarantine-after N] [-drain-timeout D]
 //
-// On SIGTERM or SIGINT the daemon stops accepting work, lets running
-// jobs finish, and exits once drained or once -drain-timeout elapses.
+// With -journal-dir, job submissions and completions are written to a
+// crash-safe journal: after a crash or SIGKILL the next start replays
+// it, resubmits every job that had not settled, and restores quarantine
+// markers, so queued and interrupted work is never lost (/readyz stays
+// 503 until the replay has been resubmitted). On SIGTERM or SIGINT the
+// daemon flips /readyz to 503, stops accepting work, lets running jobs
+// finish, and exits once drained or once -drain-timeout elapses.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/service"
 )
 
@@ -52,7 +59,11 @@ func run(args []string, stdout, stderr io.Writer, ctx context.Context) int {
 		queue        = fs.Int("queue", 64, "job queue depth before submissions are rejected with 429")
 		cacheEntries = fs.Int("cache-entries", 256, "in-memory result cache capacity")
 		cacheDir     = fs.String("cache-dir", "", "directory for the persistent result cache (empty: memory only)")
-		jobTimeout   = fs.Duration("job-timeout", 0, "per-job wall-clock limit (0: none)")
+		journalDir   = fs.String("journal-dir", "", "directory for the durable job journal (empty: jobs do not survive a crash)")
+		jobTimeout   = fs.Duration("job-timeout", 0, "per-job wall-clock limit (0: none); timed-out attempts are retried")
+		retries      = fs.Int("retries", 2, "retries per job for transient failures (-1: none)")
+		retryBase    = fs.Duration("retry-base", 50*time.Millisecond, "first retry backoff delay (doubled per retry, jittered)")
+		quarAfter    = fs.Int("quarantine-after", 3, "panics before a job key is quarantined")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "shutdown grace period for running jobs")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -71,12 +82,30 @@ func run(args []string, stdout, stderr io.Writer, ctx context.Context) int {
 		fmt.Fprintf(stderr, "pipethermd: %v\n", err)
 		return 1
 	}
-	engine := service.NewEngine(service.EngineConfig{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		JobTimeout: *jobTimeout,
-		Cache:      cache,
-	})
+	cfg := service.EngineConfig{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		JobTimeout:      *jobTimeout,
+		Cache:           cache,
+		MaxRetries:      *retries,
+		RetryBase:       *retryBase,
+		QuarantineAfter: *quarAfter,
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = -1 // flag 0 means "no retries", not "engine default"
+	}
+	if *journalDir != "" {
+		jnl, recs, err := journal.Open(*journalDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "pipethermd: %v\n", err)
+			return 1
+		}
+		pending, quarantined := journal.Pending(recs)
+		fmt.Fprintf(stdout, "pipethermd: journal: replayed %d records, %d pending jobs resubmitted, %d quarantined\n",
+			len(recs), len(pending), len(quarantined))
+		cfg.Journal, cfg.Replay = jnl, recs
+	}
+	engine := service.NewEngine(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -101,8 +130,10 @@ func run(args []string, stdout, stderr io.Writer, ctx context.Context) int {
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 
-	// Stop accepting connections first, then let the engine finish the
-	// jobs already running; both share the drain deadline.
+	// Fail readiness first so /readyz-polling load balancers stop
+	// routing, then stop accepting connections, then let the engine
+	// finish the jobs already running; all share the drain deadline.
+	engine.BeginDrain()
 	if err := srv.Shutdown(drainCtx); err != nil {
 		fmt.Fprintf(stderr, "pipethermd: http shutdown: %v\n", err)
 	}

@@ -1,0 +1,162 @@
+// Package faultinject is the chaos-testing seam for the service stack:
+// named injection sites in the engine, cache, and journal consult an
+// *Injector that tests arm with outcomes — panics, transient I/O
+// errors, ENOSPC, extra latency, and torn (truncated) writes.
+//
+// Production never constructs an Injector: every seam holds a nil
+// *Injector, and all methods are nil-receiver no-ops, so the disarmed
+// cost at a site is one pointer test and no allocation. The seams live
+// only on the service layer (per-job, per-cache-write, per-journal
+// append) — never inside the cycle hot loop.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Injection sites. A site name is the contract between the code under
+// test and the test arming the injector.
+const (
+	// SiteJobRun fires at the top of every job execution attempt.
+	SiteJobRun = "job.run"
+	// SiteCacheWrite fires before every disk-cache entry write; torn
+	// outcomes truncate the entry as a crash would.
+	SiteCacheWrite = "cache.write"
+	// SiteJournalAppend fires before every journal record append.
+	SiteJournalAppend = "journal.append"
+)
+
+// ErrIO is the injected transient I/O failure; the engine's retry
+// classifier treats anything wrapping it as retryable.
+var ErrIO = errors.New("faultinject: transient I/O error")
+
+// ErrNoSpace is the injected ENOSPC-style failure for the durability
+// layers (cache and journal writes).
+var ErrNoSpace = errors.New("faultinject: no space left on device")
+
+// Outcome is one armed fault. Zero fields do nothing; a single outcome
+// may combine a delay with an error or a panic (the delay is applied
+// first).
+type Outcome struct {
+	// Err, if non-nil, is returned from the site.
+	Err error
+	// Panic, if non-empty, panics at the site with this message
+	// (after Delay, instead of returning Err).
+	Panic string
+	// Delay sleeps before failing or proceeding — the "slow job" and
+	// "deadline blowout" injection.
+	Delay time.Duration
+	// Torn, on a write site, hands the site only the first Truncate
+	// bytes of its payload (Truncate 0 = a zero-length torn write).
+	Torn     bool
+	Truncate int
+}
+
+// Injector queues outcomes per site. The zero value is ready to use;
+// a nil *Injector is the production no-op. Safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	rules map[string][]Outcome
+	fired map[string]uint64
+}
+
+// New returns an empty, armed-capable injector.
+func New() *Injector { return &Injector{} }
+
+// Arm queues one outcome at site; outcomes fire in FIFO order, each
+// exactly once.
+func (in *Injector) Arm(site string, o Outcome) { in.ArmN(site, 1, o) }
+
+// ArmN queues n copies of the outcome at site.
+func (in *Injector) ArmN(site string, n int, o Outcome) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.rules == nil {
+		in.rules = make(map[string][]Outcome)
+	}
+	for i := 0; i < n; i++ {
+		in.rules[site] = append(in.rules[site], o)
+	}
+}
+
+// Fired returns how many times site has consumed an armed outcome.
+func (in *Injector) Fired(site string) uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[site]
+}
+
+// Armed returns how many outcomes remain queued at site.
+func (in *Injector) Armed(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.rules[site])
+}
+
+// take pops the next outcome for site, if any.
+func (in *Injector) take(site string) (Outcome, bool) {
+	if in == nil {
+		return Outcome{}, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	q := in.rules[site]
+	if len(q) == 0 {
+		return Outcome{}, false
+	}
+	o := q[0]
+	in.rules[site] = q[1:]
+	if in.fired == nil {
+		in.fired = make(map[string]uint64)
+	}
+	in.fired[site]++
+	return o, true
+}
+
+// Fire consumes the next outcome armed at site: it sleeps the outcome's
+// delay, panics if a panic is armed, and otherwise returns the armed
+// error. With a nil receiver or nothing armed it returns nil
+// immediately — the production path.
+func (in *Injector) Fire(site string) error {
+	o, ok := in.take(site)
+	if !ok {
+		return nil
+	}
+	if o.Delay > 0 {
+		time.Sleep(o.Delay)
+	}
+	if o.Panic != "" {
+		panic(fmt.Sprintf("faultinject: %s: %s", site, o.Panic))
+	}
+	return o.Err
+}
+
+// FireWrite is Fire for write sites carrying a payload. It returns the
+// payload the site should actually write (truncated when a torn
+// outcome is armed) and the error the site should observe. With no
+// outcome armed it returns the payload untouched and a nil error.
+func (in *Injector) FireWrite(site string, data []byte) ([]byte, error) {
+	o, ok := in.take(site)
+	if !ok {
+		return data, nil
+	}
+	if o.Delay > 0 {
+		time.Sleep(o.Delay)
+	}
+	if o.Panic != "" {
+		panic(fmt.Sprintf("faultinject: %s: %s", site, o.Panic))
+	}
+	if o.Torn && o.Truncate < len(data) {
+		return data[:max(o.Truncate, 0)], o.Err
+	}
+	return data, o.Err
+}

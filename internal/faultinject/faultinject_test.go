@@ -1,0 +1,133 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if err := in.Fire(SiteJobRun); err != nil {
+		t.Fatalf("nil Fire = %v", err)
+	}
+	data := []byte("payload")
+	got, err := in.FireWrite(SiteCacheWrite, data)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("nil FireWrite = %q, %v", got, err)
+	}
+	if in.Fired(SiteJobRun) != 0 || in.Armed(SiteJobRun) != 0 {
+		t.Fatal("nil injector reports activity")
+	}
+}
+
+func TestFireConsumesOutcomesFIFO(t *testing.T) {
+	in := New()
+	e1, e2 := errors.New("first"), errors.New("second")
+	in.Arm(SiteJobRun, Outcome{Err: e1})
+	in.Arm(SiteJobRun, Outcome{Err: e2})
+	if err := in.Fire(SiteJobRun); err != e1 {
+		t.Fatalf("first fire = %v", err)
+	}
+	if err := in.Fire(SiteJobRun); err != e2 {
+		t.Fatalf("second fire = %v", err)
+	}
+	if err := in.Fire(SiteJobRun); err != nil {
+		t.Fatalf("disarmed fire = %v", err)
+	}
+	if got := in.Fired(SiteJobRun); got != 2 {
+		t.Fatalf("fired = %d, want 2", got)
+	}
+}
+
+func TestArmNAndArmed(t *testing.T) {
+	in := New()
+	in.ArmN(SiteJournalAppend, 3, Outcome{Err: ErrNoSpace})
+	if got := in.Armed(SiteJournalAppend); got != 3 {
+		t.Fatalf("armed = %d, want 3", got)
+	}
+	for i := 0; i < 3; i++ {
+		if err := in.Fire(SiteJournalAppend); !errors.Is(err, ErrNoSpace) {
+			t.Fatalf("fire %d = %v", i, err)
+		}
+	}
+	if got := in.Armed(SiteJournalAppend); got != 0 {
+		t.Fatalf("armed after drain = %d", got)
+	}
+}
+
+func TestFirePanics(t *testing.T) {
+	in := New()
+	in.Arm(SiteJobRun, Outcome{Panic: "boom"})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("armed panic did not fire")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") || !strings.Contains(s, SiteJobRun) {
+			t.Fatalf("panic value = %v", r)
+		}
+	}()
+	in.Fire(SiteJobRun)
+}
+
+func TestFireDelay(t *testing.T) {
+	in := New()
+	in.Arm(SiteJobRun, Outcome{Delay: 30 * time.Millisecond, Err: ErrIO})
+	start := time.Now()
+	err := in.Fire(SiteJobRun)
+	if !errors.Is(err, ErrIO) {
+		t.Fatalf("fire = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delay not applied: %v", elapsed)
+	}
+}
+
+func TestFireWriteTorn(t *testing.T) {
+	in := New()
+	data := []byte("0123456789")
+	in.Arm(SiteCacheWrite, Outcome{Torn: true, Truncate: 4})
+	got, err := in.FireWrite(SiteCacheWrite, data)
+	if err != nil || string(got) != "0123" {
+		t.Fatalf("torn write = %q, %v", got, err)
+	}
+	// Zero-length tear.
+	in.Arm(SiteCacheWrite, Outcome{Torn: true})
+	got, err = in.FireWrite(SiteCacheWrite, data)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("zero tear = %q, %v", got, err)
+	}
+	// Error without Torn leaves the payload whole.
+	in.Arm(SiteCacheWrite, Outcome{Err: ErrNoSpace})
+	got, err = in.FireWrite(SiteCacheWrite, data)
+	if !errors.Is(err, ErrNoSpace) || string(got) != "0123456789" {
+		t.Fatalf("error-only write = %q, %v", got, err)
+	}
+}
+
+// TestInjectorConcurrent arms and fires from many goroutines; the -race
+// CI job runs this.
+func TestInjectorConcurrent(t *testing.T) {
+	in := New()
+	const n = 8
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				in.Arm(SiteJobRun, Outcome{Err: ErrIO})
+				in.Fire(SiteJobRun)
+				in.Fired(SiteJobRun)
+			}
+		}()
+	}
+	wg.Wait()
+	// Every armed outcome was either fired or is still armed.
+	if got := in.Fired(SiteJobRun) + uint64(in.Armed(SiteJobRun)); got != n*100 {
+		t.Fatalf("fired+armed = %d, want %d", got, n*100)
+	}
+}

@@ -1,0 +1,241 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+func mustOpen(t *testing.T, dir string) (*Journal, []Record) {
+	t.Helper()
+	j, recs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, recs
+}
+
+func submitRec(key string) Record {
+	return Record{Op: OpSubmit, Key: key, Req: json.RawMessage(`{"benchmark":"eon"}`)}
+}
+
+func TestJournalAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, recs := mustOpen(t, dir)
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	want := []Record{
+		submitRec("k1"),
+		submitRec("k2"),
+		{Op: OpDone, Key: "k1"},
+		{Op: OpFailed, Key: "k2", Err: "boom"},
+	}
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	_, got := mustOpen(t, dir)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Op != want[i].Op || got[i].Key != want[i].Key || got[i].Err != want[i].Err {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if string(got[0].Req) != string(want[0].Req) {
+		t.Errorf("request payload lost: %s", got[0].Req)
+	}
+}
+
+func TestJournalTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	j.Append(submitRec("k1"))
+	j.Append(Record{Op: OpDone, Key: "k1"})
+	j.Close()
+
+	// Simulate a crash mid-append: half a frame of garbage at the tail.
+	path := filepath.Join(dir, "journal.wal")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x10, 0x00, 0x00})
+	f.Close()
+	before, _ := os.Stat(path)
+
+	j2, recs := mustOpen(t, dir)
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records through a torn tail, want 2", len(recs))
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Errorf("torn tail not truncated: %d -> %d bytes", before.Size(), after.Size())
+	}
+	// Appends continue on the clean boundary.
+	if err := j2.Append(submitRec("k3")); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, recs = mustOpen(t, dir)
+	if len(recs) != 3 || recs[2].Key != "k3" {
+		t.Fatalf("post-truncation append lost: %+v", recs)
+	}
+}
+
+func TestJournalBitFlipStopsReplayAtCorruption(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	j.Append(submitRec("k1"))
+	j.Append(submitRec("k2"))
+	j.Close()
+
+	// Flip one payload byte inside the second frame.
+	path := filepath.Join(dir, "journal.wal")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs := mustOpen(t, dir)
+	if len(recs) != 1 || recs[0].Key != "k1" {
+		t.Fatalf("replay past a checksum failure: %+v", recs)
+	}
+}
+
+func TestJournalZeroLengthAndGarbageFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.wal")
+	for _, contents := range [][]byte{{}, []byte("not a journal at all")} {
+		if err := os.WriteFile(path, contents, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, recs, err := Open(dir)
+		if err != nil {
+			t.Fatalf("open over %q: %v", contents, err)
+		}
+		if len(recs) != 0 {
+			t.Fatalf("replayed %d records from garbage", len(recs))
+		}
+		if err := j.Append(submitRec("k1")); err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+		_, recs, err = Open(dir)
+		if err != nil || len(recs) != 1 {
+			t.Fatalf("recovery append lost: %v, %+v", err, recs)
+		}
+	}
+}
+
+func TestPending(t *testing.T) {
+	recs := []Record{
+		submitRec("a"), // stays pending
+		submitRec("b"),
+		{Op: OpDone, Key: "b"},
+		submitRec("c"),
+		{Op: OpFailed, Key: "c", Err: "x"},
+		submitRec("d"),
+		{Op: OpQuarantined, Key: "d", Err: "panicked"},
+		submitRec("e"), // stays pending
+	}
+	pending, quarantined := Pending(recs)
+	if len(pending) != 2 || pending[0].Key != "a" || pending[1].Key != "e" {
+		t.Fatalf("pending = %+v", pending)
+	}
+	if len(quarantined) != 1 || quarantined[0].Key != "d" {
+		t.Fatalf("quarantined = %+v", quarantined)
+	}
+}
+
+func TestJournalRewriteCompacts(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	for i := 0; i < 10; i++ {
+		j.Append(submitRec("k"))
+		j.Append(Record{Op: OpDone, Key: "k"})
+	}
+	j.Append(submitRec("live"))
+	if err := j.Rewrite([]Record{submitRec("live")}); err != nil {
+		t.Fatal(err)
+	}
+	// Appends after Rewrite land in the compacted file.
+	if err := j.Append(Record{Op: OpDone, Key: "live"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, recs := mustOpen(t, dir)
+	if len(recs) != 2 || recs[0].Key != "live" || recs[1].Op != OpDone {
+		t.Fatalf("compacted journal = %+v", recs)
+	}
+}
+
+func TestJournalAppendFaultInjection(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	j.Inject = faultinject.New()
+
+	// ENOSPC: append reports the failure but the journal stays usable.
+	j.Inject.Arm(faultinject.SiteJournalAppend, faultinject.Outcome{Err: faultinject.ErrNoSpace, Torn: true})
+	if err := j.Append(submitRec("k1")); !errors.Is(err, faultinject.ErrNoSpace) {
+		t.Fatalf("injected append = %v", err)
+	}
+	if err := j.Append(submitRec("k2")); err != nil {
+		t.Fatalf("append after injected failure: %v", err)
+	}
+
+	// Torn append: reported as an error, and the tear is dropped on the
+	// next open, keeping the good prefix.
+	j.Inject.Arm(faultinject.SiteJournalAppend, faultinject.Outcome{Torn: true, Truncate: 5})
+	if err := j.Append(submitRec("k3")); err == nil || !strings.Contains(err.Error(), "torn") {
+		t.Fatalf("torn append = %v", err)
+	}
+	j.Close()
+
+	_, recs := mustOpen(t, dir)
+	if len(recs) != 1 || recs[0].Key != "k2" {
+		t.Fatalf("replay after faults = %+v", recs)
+	}
+}
+
+// TestJournalConcurrentAppend exercises Append from many goroutines;
+// the -race CI job runs this.
+func TestJournalConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := j.Append(submitRec("k")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	j.Close()
+	_, recs := mustOpen(t, dir)
+	if len(recs) != 100 {
+		t.Fatalf("replayed %d records, want 100", len(recs))
+	}
+}

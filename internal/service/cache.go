@@ -1,20 +1,26 @@
 // The content-addressed result cache: an in-memory LRU over result JSON
 // bytes keyed by job key, with an optional on-disk layer that survives
-// restarts. Disk entries are one file per key (write-temp-then-rename,
-// so a crash never leaves a half-written entry under the final name); a
-// file that fails validation — unreadable, invalid JSON, or
-// inconsistent result vectors — is deleted and treated as a miss, never
-// served.
+// restarts. Disk entries are one file per key, written crash-safe:
+// temp file + fsync + atomic rename, so a crash never leaves a
+// half-written entry under the final name, and a reader racing the
+// rename sees either the old or the new complete entry. Each entry
+// wraps the result bytes in a CRC-32C envelope, so corruption —
+// truncation, bit flips, zero-length files — is detected by checksum
+// rather than by hoping JSON parsing fails; anything that fails the
+// checksum or result validation is deleted and treated as a miss,
+// never served.
 package service
 
 import (
 	"container/list"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/sim"
 )
 
@@ -35,6 +41,18 @@ type Cache struct {
 	ll       *list.List
 	items    map[string]*list.Element
 	stats    CacheStats
+	inj      *faultinject.Injector // chaos seam for disk writes; nil in production
+}
+
+// SetInjector arms the disk-write chaos seam; a nil injector (the
+// default) disarms it.
+func (c *Cache) SetInjector(in *faultinject.Injector) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.inj = in
+	c.mu.Unlock()
 }
 
 type cacheEntry struct {
@@ -144,6 +162,18 @@ func (c *Cache) Len() int {
 
 // --- disk layer -----------------------------------------------------------
 
+// diskEnvelope frames a disk entry: the result bytes plus their length
+// and CRC-32C. Torn or bit-flipped entries fail the checksum — a much
+// stronger detector than "does it still parse as JSON".
+type diskEnvelope struct {
+	CRC32C uint32          `json:"crc32c"`
+	Len    int             `json:"len"`
+	Result json.RawMessage `json:"result"`
+}
+
+// castagnoli is the CRC-32C polynomial table shared with the journal.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 func (c *Cache) path(key string) string {
 	// Two-character fan-out keeps directories small at scale.
 	return filepath.Join(c.dir, key[:2], key+".json")
@@ -154,11 +184,12 @@ func (c *Cache) diskGet(key string) ([]byte, bool) {
 		return nil, false
 	}
 	p := c.path(key)
-	data, err := os.ReadFile(p)
+	blob, err := os.ReadFile(p)
 	if err != nil {
 		return nil, false
 	}
-	if !validResult(data) {
+	data, ok := decodeEnvelope(blob)
+	if !ok || !validResult(data) {
 		c.stats.Corrupt++
 		os.Remove(p)
 		return nil, false
@@ -166,19 +197,66 @@ func (c *Cache) diskGet(key string) ([]byte, bool) {
 	return data, true
 }
 
+// decodeEnvelope unwraps and checksums one disk entry, reporting false
+// for anything damaged: truncated files, zero-length files, bit flips
+// (in payload or frame), or pre-envelope legacy entries.
+func decodeEnvelope(blob []byte) ([]byte, bool) {
+	var env diskEnvelope
+	if err := json.Unmarshal(blob, &env); err != nil || env.Result == nil {
+		return nil, false
+	}
+	data := []byte(env.Result)
+	if len(data) != env.Len || crc32.Checksum(data, castagnoli) != env.CRC32C {
+		return nil, false
+	}
+	return data, true
+}
+
+// encodeEnvelope wraps result bytes for disk. data must be valid JSON
+// (it always is: these are marshalled sim results), so embedding it as
+// a RawMessage keeps the exact bytes.
+func encodeEnvelope(data []byte) ([]byte, error) {
+	return json.Marshal(diskEnvelope{
+		CRC32C: crc32.Checksum(data, castagnoli),
+		Len:    len(data),
+		Result: json.RawMessage(data),
+	})
+}
+
 func (c *Cache) diskPut(key string, data []byte) {
 	if c.dir == "" || !isKey(key) {
+		return
+	}
+	blob, err := encodeEnvelope(data)
+	if err != nil {
 		return
 	}
 	p := c.path(key)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return
 	}
+	if torn, ferr := c.inj.FireWrite(faultinject.SiteCacheWrite, blob); ferr != nil || len(torn) != len(blob) {
+		// Injected fault: ENOSPC drops the write; a torn outcome lands
+		// the truncated blob under the final name, as a crash on a
+		// non-atomic filesystem would — the checksum must catch it.
+		if len(torn) != len(blob) {
+			os.WriteFile(p, torn, 0o644)
+		}
+		return
+	}
 	tmp, err := os.CreateTemp(filepath.Dir(p), "."+key+".tmp*")
 	if err != nil {
 		return
 	}
-	if _, err := tmp.Write(data); err != nil {
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	// fsync before rename: otherwise a power cut can leave the rename
+	// durable but the contents not — exactly the torn entry the
+	// checksum exists to catch, but better never to create it.
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return

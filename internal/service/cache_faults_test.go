@@ -1,0 +1,225 @@
+package service
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// writeEntry puts payload for key through a throwaway cache so the disk
+// entry exists, then returns the entry path.
+func writeEntry(t *testing.T, dir, key string, payload []byte) string {
+	t.Helper()
+	c, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(key, payload)
+	p := filepath.Join(dir, key[:2], key+".json")
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("entry not written: %v", err)
+	}
+	return p
+}
+
+// freshGet looks key up through a cache with no memory state, forcing
+// the disk path, and returns the result plus the corrupt counter.
+func freshGet(t *testing.T, dir, key string) ([]byte, bool, uint64) {
+	t.Helper()
+	c, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ok := c.Get(key)
+	return data, ok, c.Stats().Corrupt
+}
+
+func TestCacheTruncatedEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(1)
+	p := writeEntry(t, dir, key, fakeResultJSON(t, "truncme"))
+	info, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(p, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, corrupt := freshGet(t, dir, key); ok || corrupt != 1 {
+		t.Fatalf("truncated entry: hit=%v corrupt=%d, want miss/1", ok, corrupt)
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Errorf("truncated entry not removed: %v", err)
+	}
+}
+
+// TestCacheBitFlippedPayloadIsMiss flips payload bytes in a way that
+// keeps the envelope valid JSON — only the checksum can catch this kind
+// of damage, which is exactly why the envelope exists.
+func TestCacheBitFlippedPayloadIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(2)
+	p := writeEntry(t, dir, key, fakeResultJSON(t, "bitflip"))
+	blob, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := bytes.Replace(blob, []byte("bitflip"), []byte("bitflap"), 1)
+	if bytes.Equal(flipped, blob) {
+		t.Fatal("payload marker not found in envelope")
+	}
+	if err := os.WriteFile(p, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, corrupt := freshGet(t, dir, key); ok || corrupt != 1 {
+		t.Fatalf("bit-flipped entry: hit=%v corrupt=%d, want miss/1", ok, corrupt)
+	}
+}
+
+func TestCacheZeroLengthEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(3)
+	p := writeEntry(t, dir, key, fakeResultJSON(t, "emptied"))
+	if err := os.WriteFile(p, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, corrupt := freshGet(t, dir, key); ok || corrupt != 1 {
+		t.Fatalf("zero-length entry: hit=%v corrupt=%d, want miss/1", ok, corrupt)
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Errorf("zero-length entry not removed: %v", err)
+	}
+}
+
+// TestCacheLegacyRawEntryIsMiss: a pre-envelope entry (raw result JSON,
+// no checksum frame) is rejected and recomputed rather than trusted.
+func TestCacheLegacyRawEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(4)
+	p := filepath.Join(dir, key[:2], key+".json")
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, fakeResultJSON(t, "legacy"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, corrupt := freshGet(t, dir, key); ok || corrupt != 1 {
+		t.Fatalf("legacy entry: hit=%v corrupt=%d, want miss/1", ok, corrupt)
+	}
+}
+
+// TestCacheTornWriteDetected: an injected torn write lands a truncated
+// blob under the final entry name — as a crash on a non-atomic
+// filesystem would — and the checksum rejects it on read.
+func TestCacheTornWriteDetected(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(5)
+	c, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New()
+	c.SetInjector(inj)
+	inj.Arm(faultinject.SiteCacheWrite, faultinject.Outcome{Torn: true, Truncate: 24})
+	c.Put(key, fakeResultJSON(t, "tornwrite"))
+
+	p := filepath.Join(dir, key[:2], key+".json")
+	if info, err := os.Stat(p); err != nil || info.Size() != 24 {
+		t.Fatalf("torn entry on disk: %v (size %v)", err, info)
+	}
+	if _, ok, corrupt := freshGet(t, dir, key); ok || corrupt != 1 {
+		t.Fatalf("torn entry: hit=%v corrupt=%d, want miss/1", ok, corrupt)
+	}
+	// The seam is FIFO and now empty: a rewrite repairs the entry.
+	c.Put(key, fakeResultJSON(t, "tornwrite"))
+	if _, ok, _ := freshGet(t, dir, key); !ok {
+		t.Error("repaired entry not served")
+	}
+}
+
+// TestCacheNoSpaceDropsDiskWrite: an injected ENOSPC drops the disk
+// write; the entry stays served from memory and the next write lands.
+func TestCacheNoSpaceDropsDiskWrite(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(6)
+	c, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New()
+	c.SetInjector(inj)
+	inj.Arm(faultinject.SiteCacheWrite, faultinject.Outcome{Err: faultinject.ErrNoSpace})
+	payload := fakeResultJSON(t, "nospace")
+	c.Put(key, payload)
+
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("memory layer lost the entry")
+	}
+	if _, ok, _ := freshGet(t, dir, key); ok {
+		t.Fatal("dropped disk write still produced an entry")
+	}
+	c.Put(key, payload) // disk is "back": this write persists
+	if got, ok, _ := freshGet(t, dir, key); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("recovered write not served: %q, %v", got, ok)
+	}
+}
+
+// TestCacheReaderDuringRename races disk reads against repeated
+// crash-safe writes of the same keys: a reader must only ever see a
+// complete valid payload — never a torn one — because replacement is an
+// atomic rename. Runs under -race in CI.
+func TestCacheReaderDuringRename(t *testing.T) {
+	dir := t.TempDir()
+	keys := []string{testKey(10), testKey(11)}
+	payloads := [][]byte{fakeResultJSON(t, "alpha"), fakeResultJSON(t, "beta")}
+
+	writer, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity 1 and two alternating keys: almost every reader Get
+	// misses memory and takes the disk path under the writer's renames.
+	reader, err := NewCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := i % 2
+			writer.Put(keys[k], payloads[k])
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				k := i % 2
+				if got, ok := reader.Get(keys[k]); ok && !bytes.Equal(got, payloads[k]) {
+					t.Errorf("reader saw a foreign payload for key %d: %q", k, got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-writerDone
+	if corrupt := reader.Stats().Corrupt; corrupt != 0 {
+		t.Errorf("%d reads saw a torn entry across an atomic rename", corrupt)
+	}
+}

@@ -3,6 +3,17 @@
 // timeout/cancellation, worker-pool execution, and queryable job
 // states. One Engine is shared by the HTTP daemon (cmd/pipethermd) and
 // the in-process matrix path (cmd/experiments -cache-dir).
+//
+// Fault tolerance: every job attempt runs under recover(), so a
+// panicking cell fails only that job (the stack lands in
+// JobStatus.Error) while the workers keep serving; a key that keeps
+// panicking is quarantined — failed permanently, never retried — after
+// QuarantineAfter attempts; transient failures (job timeout, injected
+// I/O errors) retry with exponential backoff and jitter up to
+// MaxRetries; and with a journal attached, submit/done/failed
+// transitions are WAL-logged so queued and interrupted jobs survive a
+// crash and are replayed on the next start (see DESIGN.md, "Failure
+// model and recovery").
 package service
 
 import (
@@ -11,19 +22,24 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
+	"repro/internal/journal"
 	"repro/internal/pipeline"
 	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
-// JobState is the lifecycle of a job: queued → running → done|failed.
+// JobState is the lifecycle of a job: queued → running →
+// done|failed|quarantined.
 type JobState string
 
 const (
@@ -31,6 +47,10 @@ const (
 	JobRunning JobState = "running"
 	JobDone    JobState = "done"
 	JobFailed  JobState = "failed"
+	// JobQuarantined marks a job key that panicked QuarantineAfter
+	// times: permanently failed, never re-enqueued, its poison marker
+	// journaled across restarts.
+	JobQuarantined JobState = "quarantined"
 )
 
 // ErrQueueFull is returned by Submit when the bounded queue has no room
@@ -52,19 +72,23 @@ type Job struct {
 	cached     bool
 	resultJSON []byte
 	err        error
-	done       chan struct{} // closed on done/failed
+	attempts   int           // execution attempts this submission (1 = no retry)
+	panics     int           // recovered panics for this job's key
+	done       chan struct{} // closed on done/failed/quarantined
 }
 
 // JobStatus is an immutable snapshot of a job, in the wire shape the
 // HTTP API serves. Result holds the exact cached bytes, so identical
 // requests always see byte-identical result JSON.
 type JobStatus struct {
-	Key    string          `json:"key"`
-	State  JobState        `json:"state"`
-	Cached bool            `json:"cached"`
-	Req    Request         `json:"request"`
-	Error  string          `json:"error,omitempty"`
-	Result json.RawMessage `json:"result,omitempty"`
+	Key      string          `json:"key"`
+	State    JobState        `json:"state"`
+	Cached   bool            `json:"cached"`
+	Req      Request         `json:"request"`
+	Attempts int             `json:"attempts,omitempty"`
+	Panics   int             `json:"panics,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
 }
 
 // Batch is one submitted experiment matrix, aggregating cell jobs.
@@ -105,25 +129,60 @@ type EngineConfig struct {
 	// Submissions beyond it fail with ErrQueueFull.
 	QueueDepth int
 	// JobTimeout cancels a single cell run after this long; <= 0 means
-	// no per-job timeout.
+	// no per-job timeout. A timed-out attempt counts as transient and
+	// is retried up to MaxRetries.
 	JobTimeout time.Duration
 	// Cache is the result cache; nil means a small memory-only cache.
 	Cache *Cache
+
+	// MaxRetries bounds retries of transient failures (timeouts,
+	// injected I/O errors) per submission: 0 means the default of 2
+	// (three attempts total), negative disables retries.
+	MaxRetries int
+	// RetryBase is the first backoff delay (doubled per retry, with
+	// jitter); <= 0 means 50ms.
+	RetryBase time.Duration
+	// RetryMax caps the backoff delay; <= 0 means 2s.
+	RetryMax time.Duration
+	// QuarantineAfter is how many recovered panics a job key may
+	// accumulate before it is quarantined; <= 0 means 3.
+	QuarantineAfter int
+
+	// Journal, when non-nil, makes job transitions durable: submits are
+	// WAL-logged before enqueue, terminal states on settle, and Replay
+	// (the records journal.Open returned) is recovered at startup —
+	// pending jobs are resubmitted, quarantine markers restored, and
+	// the log compacted.
+	Journal *journal.Journal
+	Replay  []journal.Record
+
+	// Inject is the chaos-testing seam (internal/faultinject); nil — the
+	// production case — disarms every site.
+	Inject *faultinject.Injector
+
+	// runFunc replaces the cell runner before workers and journal
+	// replay start. In-package tests only.
+	runFunc func(ctx context.Context, req Request) ([]byte, error)
 }
 
 // Metrics is the engine's counter snapshot, served at /metrics.
 type Metrics struct {
-	UptimeSeconds  float64    `json:"uptime_seconds"`
-	JobsQueued     int        `json:"jobs_queued"`
-	JobsRunning    int        `json:"jobs_running"`
-	JobsCompleted  uint64     `json:"jobs_completed"`
-	JobsFailed     uint64     `json:"jobs_failed"`
-	JobsDeduped    uint64     `json:"jobs_deduped"`
-	CacheHits      uint64     `json:"cache_hits"`
-	CacheMisses    uint64     `json:"cache_misses"`
-	CacheEntries   int        `json:"cache_entries"`
-	CellsPerSecond float64    `json:"cells_per_second"`
-	Cache          CacheStats `json:"cache"`
+	UptimeSeconds   float64    `json:"uptime_seconds"`
+	JobsQueued      int        `json:"jobs_queued"`
+	JobsRunning     int        `json:"jobs_running"`
+	JobsCompleted   uint64     `json:"jobs_completed"`
+	JobsFailed      uint64     `json:"jobs_failed"`
+	JobsDeduped     uint64     `json:"jobs_deduped"`
+	JobsRetried     uint64     `json:"jobs_retried"`
+	JobPanics       uint64     `json:"job_panics"`
+	JobsQuarantined uint64     `json:"jobs_quarantined"`
+	JournalErrors   uint64     `json:"journal_errors"`
+	Ready           bool       `json:"ready"`
+	CacheHits       uint64     `json:"cache_hits"`
+	CacheMisses     uint64     `json:"cache_misses"`
+	CacheEntries    int        `json:"cache_entries"`
+	CellsPerSecond  float64    `json:"cells_per_second"`
+	Cache           CacheStats `json:"cache"`
 
 	// Runtime is the Go runtime health section: memory, GC, and
 	// goroutine gauges for the serving process.
@@ -163,21 +222,36 @@ type Engine struct {
 	queue      chan *Job
 	jobTimeout time.Duration
 
-	mu      sync.Mutex
-	jobs    map[string]*Job
-	batches map[string]*Batch
-	closed  bool
+	// Fault-tolerance knobs (see EngineConfig).
+	maxRetries      int
+	retryBase       time.Duration
+	retryMax        time.Duration
+	quarantineAfter int
+	journal         *journal.Journal
+	inj             *faultinject.Injector
 
-	closing atomic.Bool
-	baseCtx context.Context
-	cancel  context.CancelFunc
-	wg      sync.WaitGroup
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	batches     map[string]*Batch
+	panicCounts map[string]int // recovered panics per job key
+	closed      bool
 
-	start     time.Time
-	running   atomic.Int64
-	completed atomic.Uint64
-	failed    atomic.Uint64
-	deduped   atomic.Uint64
+	closing  atomic.Bool
+	draining atomic.Bool // readiness off ahead of shutdown (BeginDrain)
+	replayed atomic.Bool // journal replay finished (true when no journal)
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+
+	start       time.Time
+	running     atomic.Int64
+	completed   atomic.Uint64
+	failed      atomic.Uint64
+	deduped     atomic.Uint64
+	retries     atomic.Uint64
+	panicsTotal atomic.Uint64
+	quarantined atomic.Uint64
+	journalErrs atomic.Uint64
 
 	// Utilization accumulator over freshly simulated cells (sums; the
 	// Metrics snapshot divides by utilN). Guarded by utilMu, not the job
@@ -191,7 +265,9 @@ type Engine struct {
 	run func(ctx context.Context, req Request) ([]byte, error)
 }
 
-// NewEngine starts an engine with cfg.Workers simulation workers.
+// NewEngine starts an engine with cfg.Workers simulation workers. With
+// a journal configured, replayed pending jobs are resubmitted in the
+// background; Ready reports false until that finishes.
 func NewEngine(cfg EngineConfig) *Engine {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
@@ -200,24 +276,126 @@ func NewEngine(cfg EngineConfig) *Engine {
 	if cache == nil {
 		cache, _ = NewCache(128, "")
 	}
+	cache.SetInjector(cfg.Inject)
+	switch {
+	case cfg.MaxRetries == 0:
+		cfg.MaxRetries = 2
+	case cfg.MaxRetries < 0:
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 50 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 2 * time.Second
+	}
+	if cfg.QuarantineAfter <= 0 {
+		cfg.QuarantineAfter = 3
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
-		cache:      cache,
-		queue:      make(chan *Job, cfg.QueueDepth),
-		jobTimeout: cfg.JobTimeout,
-		jobs:       make(map[string]*Job),
-		batches:    make(map[string]*Batch),
-		baseCtx:    ctx,
-		cancel:     cancel,
-		start:      time.Now(),
-		run:        runCell,
+		cache:           cache,
+		queue:           make(chan *Job, cfg.QueueDepth),
+		jobTimeout:      cfg.JobTimeout,
+		maxRetries:      cfg.MaxRetries,
+		retryBase:       cfg.RetryBase,
+		retryMax:        cfg.RetryMax,
+		quarantineAfter: cfg.QuarantineAfter,
+		journal:         cfg.Journal,
+		inj:             cfg.Inject,
+		jobs:            make(map[string]*Job),
+		batches:         make(map[string]*Batch),
+		panicCounts:     make(map[string]int),
+		baseCtx:         ctx,
+		cancel:          cancel,
+		start:           time.Now(),
+		run:             runCell,
 	}
+	if cfg.runFunc != nil {
+		e.run = cfg.runFunc
+	}
+	e.replayed.Store(true)
 	workers := runner.Resolve(cfg.Workers, 0)
 	for i := 0; i < workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
 	}
+	e.recoverJournal(cfg.Replay)
 	return e
+}
+
+// recover restores journaled state: quarantine markers become
+// quarantined jobs, the log is compacted to the live set, and pending
+// submits are resubmitted in the background (readiness is withheld
+// until they are all enqueued; their results then arrive through the
+// normal worker/cache path).
+func (e *Engine) recoverJournal(recs []journal.Record) {
+	if e.journal == nil {
+		return
+	}
+	pending, quarantined := journal.Pending(recs)
+	for _, rec := range quarantined {
+		var req Request
+		json.Unmarshal(rec.Req, &req) // best-effort: old markers may lack the request
+		j := &Job{Key: rec.Key, Req: req, state: JobQuarantined,
+			err: errors.New(rec.Err), panics: e.quarantineAfter, done: make(chan struct{})}
+		close(j.done)
+		e.jobs[rec.Key] = j
+		e.panicCounts[rec.Key] = e.quarantineAfter
+	}
+	compact := append(append([]journal.Record{}, quarantined...), pending...)
+	if err := e.journal.Rewrite(compact); err != nil {
+		e.journalErrs.Add(1)
+	}
+	if len(pending) > 0 {
+		e.replayed.Store(false)
+		go e.replayPending(pending)
+	}
+}
+
+// replayPending resubmits journaled pending jobs, blocking past a full
+// queue (10ms probes) rather than dropping recovered work.
+func (e *Engine) replayPending(pending []journal.Record) {
+	defer e.replayed.Store(true)
+	for _, rec := range pending {
+		var req Request
+		if err := json.Unmarshal(rec.Req, &req); err != nil {
+			continue // unreadable request: nothing to replay
+		}
+		for {
+			j, err := e.Submit(req)
+			if err == nil {
+				// Replay-from-cache: the run completed before the crash
+				// but its done record was lost; settle the journal now.
+				e.mu.Lock()
+				cachedDone := j.state == JobDone && j.cached
+				e.mu.Unlock()
+				if cachedDone {
+					e.journalAppend(journal.Record{Op: journal.OpDone, Key: j.Key})
+				}
+				break
+			}
+			if !errors.Is(err, ErrQueueFull) {
+				break // invalid under current config, or engine shut down
+			}
+			select {
+			case <-time.After(10 * time.Millisecond):
+			case <-e.baseCtx.Done():
+				return
+			}
+		}
+	}
+}
+
+// journalAppend WAL-logs one transition. Journal failures degrade
+// durability, not availability: they are counted, never fatal.
+func (e *Engine) journalAppend(r journal.Record) {
+	if e.journal == nil {
+		return
+	}
+	if err := e.journal.Append(r); err != nil {
+		e.journalErrs.Add(1)
+	}
 }
 
 func (e *Engine) worker() {
@@ -240,17 +418,127 @@ func (e *Engine) runJob(j *Job) {
 	e.running.Add(1)
 	defer e.running.Add(-1)
 
+	for attempt := 0; ; attempt++ {
+		e.mu.Lock()
+		j.attempts = attempt + 1
+		e.mu.Unlock()
+		data, err := e.attempt(j)
+		if err == nil {
+			e.cache.Put(j.Key, data)
+			e.finish(j, data, nil)
+			return
+		}
+		var pe *panicError
+		if errors.As(err, &pe) {
+			// A panic fails only this job; the worker survives. The
+			// per-key counter quarantines deterministic crashers instead
+			// of retrying them forever.
+			e.panicsTotal.Add(1)
+			e.mu.Lock()
+			j.panics++
+			e.panicCounts[j.Key]++
+			n := e.panicCounts[j.Key]
+			e.mu.Unlock()
+			if n >= e.quarantineAfter {
+				e.quarantine(j, err)
+				return
+			}
+		} else if isShutdownErr(err) || !transient(err) {
+			e.finish(j, nil, err)
+			return
+		} else if attempt >= e.maxRetries {
+			e.finish(j, nil, fmt.Errorf("after %d attempts: %w", attempt+1, err))
+			return
+		}
+		if e.closing.Load() || !e.backoff(attempt) {
+			e.finish(j, nil, err)
+			return
+		}
+		e.retries.Add(1)
+	}
+}
+
+// attempt executes the job once with panic isolation: a panicking run
+// (simulator bug, injected fault) is converted into a *panicError
+// carrying the goroutine stack instead of killing the worker.
+func (e *Engine) attempt(j *Job) (data []byte, err error) {
 	ctx := e.baseCtx
 	if e.jobTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.jobTimeout)
 		defer cancel()
 	}
-	data, err := e.run(ctx, j.Req)
-	if err == nil {
-		e.cache.Put(j.Key, data)
+	defer func() {
+		if r := recover(); r != nil {
+			data, err = nil, &panicError{val: r, stack: debug.Stack()}
+		}
+	}()
+	if ferr := e.inj.Fire(faultinject.SiteJobRun); ferr != nil {
+		return nil, ferr
 	}
-	e.finish(j, data, err)
+	return e.run(ctx, j.Req)
+}
+
+// panicError is a recovered worker panic in error form; the stack it
+// carries surfaces in JobStatus.Error.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (p *panicError) Error() string {
+	return fmt.Sprintf("job panicked: %v\n%s", p.val, p.stack)
+}
+
+// transient reports whether an attempt error is worth retrying: job
+// timeouts and injected transient I/O failures. Simulator and
+// validation errors are deterministic, so retrying them is waste.
+func transient(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, faultinject.ErrIO)
+}
+
+// isShutdownErr reports whether the failure is shutdown interruption
+// rather than a property of the job — such jobs keep their pending
+// journal record so a restart replays them.
+func isShutdownErr(err error) bool {
+	return errors.Is(err, ErrShutdown) || errors.Is(err, context.Canceled)
+}
+
+// backoff sleeps the exponential-backoff delay for attempt (0-based)
+// with jitter in [d/2, d], returning false if the engine shut down
+// while sleeping.
+func (e *Engine) backoff(attempt int) bool {
+	d := e.retryBase << uint(attempt)
+	if d <= 0 || d > e.retryMax {
+		d = e.retryMax
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-e.baseCtx.Done():
+		return false
+	}
+}
+
+// quarantine permanently fails a job whose key keeps panicking and
+// journals the poison marker so it survives restarts.
+func (e *Engine) quarantine(j *Job, cause error) {
+	e.mu.Lock()
+	j.state = JobQuarantined
+	j.err = fmt.Errorf("quarantined after %d panics: %w", j.panics, cause)
+	msg := j.err.Error()
+	e.mu.Unlock()
+	e.quarantined.Add(1)
+	e.failed.Add(1)
+	rec := journal.Record{Op: journal.OpQuarantined, Key: j.Key, Err: msg}
+	if c, err := j.Req.Canonical(); err == nil {
+		rec.Req = c
+	}
+	e.journalAppend(rec)
+	close(j.done)
 }
 
 func (e *Engine) finish(j *Job, data []byte, err error) {
@@ -263,8 +551,14 @@ func (e *Engine) finish(j *Job, data []byte, err error) {
 	e.mu.Unlock()
 	if err != nil {
 		e.failed.Add(1)
+		// Shutdown-interrupted jobs keep their pending journal record
+		// so the next start replays them; genuine failures are terminal.
+		if !isShutdownErr(err) && !e.closing.Load() {
+			e.journalAppend(journal.Record{Op: journal.OpFailed, Key: j.Key, Err: err.Error()})
+		}
 	} else {
 		e.completed.Add(1)
+		e.journalAppend(journal.Record{Op: journal.OpDone, Key: j.Key})
 		var r sim.Result
 		if json.Unmarshal(data, &r) == nil {
 			e.addUtilization(r.Utilization)
@@ -345,6 +639,10 @@ func (e *Engine) submitLocked(key string, req Request) (*Job, error) {
 		e.deduped.Add(1)
 		return j, nil
 	}
+	if j, ok := e.jobs[key]; ok && j.state == JobQuarantined {
+		// Poisoned input: permanently failed, never re-enqueued.
+		return j, nil
+	}
 	if data, ok := e.cache.Get(key); ok {
 		j := &Job{Key: key, Req: req, state: JobDone, cached: true, resultJSON: data, done: make(chan struct{})}
 		close(j.done)
@@ -355,12 +653,17 @@ func (e *Engine) submitLocked(key string, req Request) (*Job, error) {
 		// Done but evicted from the cache: still serve the job's bytes.
 		return j, nil
 	}
-	j := &Job{Key: key, Req: req, state: JobQueued, done: make(chan struct{})}
-	select {
-	case e.queue <- j:
-	default:
+	// Capacity check before the WAL append: under e.mu only workers
+	// touch the queue, and they only drain it, so room observed here
+	// cannot vanish before the send below.
+	if len(e.queue) == cap(e.queue) {
 		return nil, ErrQueueFull
 	}
+	j := &Job{Key: key, Req: req, state: JobQueued, done: make(chan struct{})}
+	if c, err := req.Canonical(); err == nil {
+		e.journalAppend(journal.Record{Op: journal.OpSubmit, Key: key, Req: c})
+	}
+	e.queue <- j
 	e.jobs[key] = j
 	return j, nil
 }
@@ -404,7 +707,7 @@ func (e *Engine) SubmitBatch(breq BatchRequest) (*Batch, error) {
 		}
 		keys[i] = k
 		j, known := e.jobs[k]
-		inFlight := known && (j.state == JobQueued || j.state == JobRunning || j.state == JobDone)
+		inFlight := known && j.state != JobFailed
 		if !inFlight && !e.cache.Contains(k) {
 			need++
 		}
@@ -471,7 +774,8 @@ func (e *Engine) Job(key string) (JobStatus, bool) {
 }
 
 func (e *Engine) statusLocked(j *Job) JobStatus {
-	st := JobStatus{Key: j.Key, State: j.state, Cached: j.cached, Req: j.Req}
+	st := JobStatus{Key: j.Key, State: j.state, Cached: j.cached, Req: j.Req,
+		Attempts: j.attempts, Panics: j.panics}
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}
@@ -633,18 +937,24 @@ func (e *Engine) Metrics() Metrics {
 	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
+	ready, _ := e.Ready()
 	return Metrics{
-		UptimeSeconds:  up,
-		JobsQueued:     len(e.queue),
-		JobsRunning:    int(e.running.Load()),
-		JobsCompleted:  completed,
-		JobsFailed:     e.failed.Load(),
-		JobsDeduped:    e.deduped.Load(),
-		CacheHits:      cs.Hits,
-		CacheMisses:    cs.Misses,
-		CacheEntries:   cs.Entries,
-		CellsPerSecond: cps,
-		Cache:          cs,
+		UptimeSeconds:   up,
+		JobsQueued:      len(e.queue),
+		JobsRunning:     int(e.running.Load()),
+		JobsCompleted:   completed,
+		JobsFailed:      e.failed.Load(),
+		JobsDeduped:     e.deduped.Load(),
+		JobsRetried:     e.retries.Load(),
+		JobPanics:       e.panicsTotal.Load(),
+		JobsQuarantined: e.quarantined.Load(),
+		JournalErrors:   e.journalErrs.Load(),
+		Ready:           ready,
+		CacheHits:       cs.Hits,
+		CacheMisses:     cs.Misses,
+		CacheEntries:    cs.Entries,
+		CellsPerSecond:  cps,
+		Cache:           cs,
 		Runtime: RuntimeMetrics{
 			Goroutines:      runtime.NumGoroutine(),
 			NumCPU:          runtime.NumCPU(),
@@ -685,10 +995,35 @@ func scaleVec(v []float64, k float64) []float64 {
 	return out
 }
 
+// Ready reports whether the engine should receive traffic, with a
+// reason when it should not: false while journal replay is still
+// resubmitting recovered jobs, and from the moment a drain begins.
+// The HTTP /readyz endpoint serves this.
+func (e *Engine) Ready() (bool, string) {
+	if e.closing.Load() || e.draining.Load() {
+		return false, "draining"
+	}
+	if !e.replayed.Load() {
+		return false, "journal replay"
+	}
+	return true, ""
+}
+
+// BeginDrain flips readiness off ahead of Shutdown, so a load balancer
+// polling /readyz stops routing before the listener closes and the
+// queue starts refusing work.
+func (e *Engine) BeginDrain() { e.draining.Store(true) }
+
 // Shutdown stops accepting submissions, lets running jobs drain, and
 // fails jobs still queued. If ctx expires before the drain completes,
 // in-flight runs are cancelled (they stop at their next sensor
 // interval) and Shutdown returns ctx's error; otherwise nil.
+//
+// Journal semantics: every state reached during the drain is persisted
+// before Shutdown returns — jobs that complete write their done
+// records, while jobs abandoned in the queue or cancelled by the
+// deadline write no terminal record at all, which is what makes
+// restart replay accurate: exactly the interrupted work is resubmitted.
 func (e *Engine) Shutdown(ctx context.Context) error {
 	e.mu.Lock()
 	if e.closed {
@@ -697,6 +1032,7 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	}
 	e.closed = true
 	e.closing.Store(true)
+	e.draining.Store(true)
 	close(e.queue) // Submit holds the mutex when sending, so this is safe
 	e.mu.Unlock()
 
@@ -714,5 +1050,12 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	e.cancel()
+	// Workers are parked, so every journal append has happened; flush
+	// them to stable storage before reporting the engine stopped.
+	if e.journal != nil {
+		if cerr := e.journal.Close(); cerr != nil {
+			e.journalErrs.Add(1)
+		}
+	}
 	return err
 }

@@ -4,7 +4,11 @@
 //	GET  /v1/jobs/{id}         job or batch status + result JSON
 //	GET  /v1/jobs/{id}/result  the raw result JSON bytes alone
 //	GET  /v1/jobs/{id}/report  paper-style table / report text
-//	GET  /healthz              liveness
+//	GET  /healthz              liveness: the process is up and serving
+//	GET  /readyz               readiness: 503 during journal replay and
+//	                           from the moment a drain begins, so load
+//	                           balancers stop routing before shutdown
+//	                           loses requests
 //	GET  /metrics              engine + cache + Go-runtime counters and
 //	                           aggregated pipeline-utilization telemetry
 //	GET  /debug/pprof/         live CPU/heap/goroutine profiling
@@ -41,6 +45,7 @@ func NewServer(e *Engine) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// Live profiling: a long matrix run can be inspected in place with
 	// `go tool pprof http://host/debug/pprof/profile`.
@@ -190,6 +195,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if ready, reason := s.engine.Ready(); !ready {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "unready", "reason": reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.Metrics())
 }
@@ -211,7 +224,7 @@ func jobHTTPStatus(st JobStatus) int {
 	switch st.State {
 	case JobDone:
 		return http.StatusOK
-	case JobFailed:
+	case JobFailed, JobQuarantined:
 		return http.StatusInternalServerError
 	default:
 		return http.StatusAccepted

@@ -257,3 +257,62 @@ func TestServerHealthz(t *testing.T) {
 		t.Fatalf("healthz: %d %s", code, body)
 	}
 }
+
+// TestServerReadyz: readiness is distinct from liveness — it drops to
+// 503 the moment a drain begins, while /healthz keeps answering 200.
+func TestServerReadyz(t *testing.T) {
+	ts, e := newTestServer(t)
+	code, body := get(t, ts.URL+"/readyz")
+	if code != http.StatusOK || !strings.Contains(string(body), "ready") {
+		t.Fatalf("readyz before drain: %d %s", code, body)
+	}
+
+	e.BeginDrain()
+	code, body = get(t, ts.URL+"/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
+		t.Fatalf("readyz during drain: %d %s", code, body)
+	}
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("healthz dropped during drain: %d", code)
+	}
+	var m Metrics
+	if _, body := get(t, ts.URL+"/metrics"); json.Unmarshal(body, &m) != nil || m.Ready {
+		t.Errorf("metrics ready flag during drain: %+v", m.Ready)
+	}
+}
+
+// TestServerQuarantinedJobIs500: a quarantined job answers like a
+// failure, with the quarantine reason and stack in the error field.
+func TestServerQuarantinedJobIs500(t *testing.T) {
+	cache, err := NewCache(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastRetries(EngineConfig{Workers: 1, QueueDepth: 8, Cache: cache, QuarantineAfter: 1})
+	cfg.runFunc = func(ctx context.Context, req Request) ([]byte, error) {
+		panic("poisoned input")
+	}
+	e := NewEngine(cfg)
+	ts := httptest.NewServer(NewServer(e))
+	t.Cleanup(func() {
+		ts.Close()
+		shutdownEngine(t, e)
+	})
+
+	code, body := postJSON(t, ts.URL+"/v1/jobs?wait=1", tinyCell)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("quarantined job: %d %s", code, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobQuarantined || !strings.Contains(st.Error, "quarantined after 1 panics") {
+		t.Fatalf("status = %+v", st)
+	}
+	// Polling the job again returns the same quarantined answer.
+	code, _ = get(t, ts.URL+"/v1/jobs/"+st.Key)
+	if code != http.StatusInternalServerError {
+		t.Errorf("poll of quarantined job: %d", code)
+	}
+}
