@@ -89,7 +89,10 @@ func main() {
 		plan := floorplan.Build(pcfg.Plan)
 		meter := power.NewMeter(plan, pcfg)
 		p := pipeline.New(pcfg, plan, meter, trace.NewGenerator(prof))
-		th := thermal.New(plan, pcfg)
+		th, err := thermal.New(plan, pcfg)
+		if err != nil {
+			return err
+		}
 		p.Warmup(*warmup)
 		for c := 0; c < *cycles; c++ {
 			p.Cycle()

@@ -37,7 +37,10 @@ func main() {
 	plan := floorplan.Build(cfg.Plan)
 	meter := power.NewMeter(plan, cfg)
 	pipe := pipeline.New(cfg, plan, meter, trace.NewGenerator(prof))
-	th := thermal.New(plan, cfg)
+	th, err := thermal.New(plan, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	mgr := core.New(cfg, plan, pipe, th)
 
 	pipe.Warmup(3_000_000)

@@ -88,6 +88,19 @@ func (p *TemporalPolicy) UnmarshalText(b []byte) error {
 	return nil
 }
 
+func (s ThermalSolver) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+func (s *ThermalSolver) UnmarshalText(b []byte) error {
+	v, err := parseEnum("thermal solver", string(b),
+		[]string{"auto", "dense", "sparse"},
+		[]ThermalSolver{ThermalAuto, ThermalDense, ThermalSparse})
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
 func (v FloorplanVariant) MarshalText() ([]byte, error) { return []byte(v.String()), nil }
 
 func (v *FloorplanVariant) UnmarshalText(b []byte) error {

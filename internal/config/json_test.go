@@ -97,6 +97,7 @@ func TestEnumUnmarshalErrors(t *testing.T) {
 		{new(RFWritePolicy), "margins"},
 		{new(TemporalPolicy), "stopgo"},
 		{new(FloorplanVariant), "iq"},
+		{new(ThermalSolver), "csr"},
 	}
 	for _, c := range cases {
 		err := json.Unmarshal([]byte(`"`+c.text+`"`), c.dst)
@@ -153,6 +154,13 @@ func TestEnumRoundTripAll(t *testing.T) {
 		b, _ := v.MarshalText()
 		if err := got.UnmarshalText(b); err != nil || got != v {
 			t.Errorf("FloorplanVariant %v: %v %v", v, got, err)
+		}
+	}
+	for _, v := range []ThermalSolver{ThermalAuto, ThermalDense, ThermalSparse} {
+		var got ThermalSolver
+		b, _ := v.MarshalText()
+		if err := got.UnmarshalText(b); err != nil || got != v {
+			t.Errorf("ThermalSolver %v: %v %v", v, got, err)
 		}
 	}
 }

@@ -23,7 +23,10 @@ func rig(t *testing.T, mod func(*config.Config)) (*Manager, *thermal.Model, *pip
 	meter := power.NewMeter(plan, cfg)
 	prof, _ := trace.ByName("eon")
 	pipe := pipeline.New(cfg, plan, meter, trace.NewGenerator(prof))
-	th := thermal.New(plan, cfg)
+	th, err := thermal.New(plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	mgr := New(cfg, plan, pipe, th)
 	return mgr, th, pipe, plan, cfg
 }

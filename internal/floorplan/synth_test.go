@@ -1,0 +1,211 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+)
+
+// geometryInvariants runs the same no-overlap/no-gap and adjacency
+// sanity checks the paper plans satisfy (see floorplan_test.go) against
+// a synthetic plan.
+func geometryInvariants(t *testing.T, p *Plan) {
+	t.Helper()
+	for i := 0; i < len(p.Blocks); i++ {
+		for j := i + 1; j < len(p.Blocks); j++ {
+			a, b := p.Blocks[i], p.Blocks[j]
+			xOverlap := math.Min(a.X+a.W, b.X+b.W) - math.Max(a.X, b.X)
+			yOverlap := math.Min(a.Y+a.H, b.Y+b.H) - math.Max(a.Y, b.Y)
+			if xOverlap > 1e-9 && yOverlap > 1e-9 {
+				t.Fatalf("%s and %s overlap", a.Name, b.Name)
+			}
+		}
+	}
+	width, height := 0.0, 0.0
+	for _, b := range p.Blocks {
+		if b.Area() <= 0 {
+			t.Fatalf("block %s has area %v", b.Name, b.Area())
+		}
+		width = math.Max(width, b.X+b.W)
+		height = math.Max(height, b.Y+b.H)
+	}
+	if math.Abs(p.TotalArea()-width*height)/p.TotalArea() > 1e-6 {
+		t.Fatalf("gaps: blocks %.6e vs bounding box %.6e", p.TotalArea(), width*height)
+	}
+	for _, a := range p.Adj {
+		if a.A == a.B {
+			t.Fatal("self adjacency")
+		}
+		if a.Shared <= 0 || a.Dist <= 0 {
+			t.Fatalf("degenerate adjacency %+v", a)
+		}
+	}
+}
+
+// adjacencySet keys adjacency records by unordered pair for reciprocity
+// and cross-checks.
+func adjacencySet(p *Plan) map[[2]int]Adjacency {
+	set := make(map[[2]int]Adjacency, len(p.Adj))
+	for _, a := range p.Adj {
+		lo, hi := a.A, a.B
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		set[[2]int{lo, hi}] = a
+	}
+	return set
+}
+
+func TestMeshGeometry(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {1, 5}, {4, 4}, {7, 8}, {15, 20}} {
+		p := Mesh(dims[0], dims[1])
+		if p.NumBlocks() != dims[0]*dims[1] {
+			t.Fatalf("Mesh(%d,%d): %d blocks", dims[0], dims[1], p.NumBlocks())
+		}
+		geometryInvariants(t, p)
+	}
+}
+
+// TestMeshAdjacencyMatchesGeometricScan pins the mesh's enumerated
+// adjacency to the geometric O(n²) scan the paper plans use: same pair
+// set, same shared-edge lengths and center distances, each pair recorded
+// exactly once (reciprocity).
+func TestMeshAdjacencyMatchesGeometricScan(t *testing.T) {
+	p := Mesh(6, 9)
+	direct := adjacencySet(p)
+	if len(direct) != len(p.Adj) {
+		t.Fatalf("duplicate adjacency records: %d pairs from %d records", len(direct), len(p.Adj))
+	}
+	scan := &Plan{Blocks: p.Blocks}
+	scan.computeAdjacency()
+	scanned := adjacencySet(scan)
+	if len(scanned) != len(direct) {
+		t.Fatalf("mesh enumerates %d pairs, geometric scan finds %d", len(direct), len(scanned))
+	}
+	for pair, want := range scanned {
+		got, ok := direct[pair]
+		if !ok {
+			t.Fatalf("pair %v missing from mesh adjacency", pair)
+		}
+		if math.Abs(got.Shared-want.Shared) > 1e-12 || math.Abs(got.Dist-want.Dist) > 1e-12 {
+			t.Fatalf("pair %v: mesh %+v vs scan %+v", pair, got, want)
+		}
+	}
+}
+
+func TestMeshDegrees(t *testing.T) {
+	rows, cols := 5, 7
+	p := Mesh(rows, cols)
+	degree := make(map[int]int)
+	for _, a := range p.Adj {
+		degree[a.A]++
+		degree[a.B]++
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			want := 4
+			if r == 0 || r == rows-1 {
+				want--
+			}
+			if c == 0 || c == cols-1 {
+				want--
+			}
+			if got := degree[p.Index(MeshCell(r, c))]; got != want {
+				t.Fatalf("cell (%d,%d) degree %d, want %d", r, c, got, want)
+			}
+		}
+	}
+}
+
+func TestMeshPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mesh(0, 5) did not panic")
+		}
+	}()
+	Mesh(0, 5)
+}
+
+func TestRandomGeometry(t *testing.T) {
+	for _, n := range []int{1, 2, 17, 64, 200} {
+		p := Random(n, 0xabcd)
+		if p.NumBlocks() != n {
+			t.Fatalf("Random(%d): %d blocks", n, p.NumBlocks())
+		}
+		geometryInvariants(t, p)
+	}
+}
+
+// TestRandomDeterministic: the same (n, seed) yields the same plan —
+// geometry and adjacency — across calls; a different seed yields a
+// different partition.
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(40, 7)
+	b := Random(40, 7)
+	if len(a.Blocks) != len(b.Blocks) || len(a.Adj) != len(b.Adj) {
+		t.Fatal("same seed, different shape")
+	}
+	for i := range a.Blocks {
+		if a.Blocks[i] != b.Blocks[i] {
+			t.Fatalf("same seed, block %d differs: %+v vs %+v", i, a.Blocks[i], b.Blocks[i])
+		}
+	}
+	for i := range a.Adj {
+		if a.Adj[i] != b.Adj[i] {
+			t.Fatalf("same seed, adjacency %d differs", i)
+		}
+	}
+	c := Random(40, 8)
+	same := true
+	for i := range a.Blocks {
+		if a.Blocks[i] != c.Blocks[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+// TestRandomAreaConserved: guillotine splits partition the die, so the
+// total block area equals the die area at any n.
+func TestRandomAreaConserved(t *testing.T) {
+	die := DieWidth * DieWidth
+	for _, n := range []int{3, 30, 300} {
+		if got := Random(n, 1).TotalArea(); math.Abs(got-die)/die > 1e-9 {
+			t.Fatalf("Random(%d): area %.6e, want %.6e", n, got, die)
+		}
+	}
+}
+
+func TestRandomPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Random(0) did not panic")
+		}
+	}()
+	Random(0, 1)
+}
+
+// TestSynthPlanNamesResolve: generated names round-trip through the
+// name index like paper block names do.
+func TestSynthPlanNamesResolve(t *testing.T) {
+	m := Mesh(3, 4)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 4; c++ {
+			i := m.Index(MeshCell(r, c))
+			if m.Blocks[i].Name != MeshCell(r, c) {
+				t.Fatalf("index mismatch for %s", MeshCell(r, c))
+			}
+		}
+	}
+	rp := Random(12, 3)
+	for i := 0; i < 12; i++ {
+		if rp.Index(RandomCell(i)) != i {
+			t.Fatalf("random plan index mismatch at %d", i)
+		}
+	}
+	if !m.Has(MeshCell(0, 0)) || m.Has("Nope") {
+		t.Fatal("Has misbehaves on synthetic plans")
+	}
+}

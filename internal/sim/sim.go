@@ -63,7 +63,10 @@ func New(cfg *config.Config, prof trace.Profile) (*Simulator, error) {
 	plan := floorplan.Build(cfg.Plan)
 	meter := power.NewMeter(plan, cfg)
 	pipe := pipeline.New(cfg, plan, meter, trace.NewGenerator(prof))
-	th := thermal.New(plan, cfg)
+	th, err := thermal.New(plan, cfg)
+	if err != nil {
+		return nil, err
+	}
 	mgr := core.New(cfg, plan, pipe, th)
 	return &Simulator{
 		Cfg:      cfg,

@@ -1,0 +1,446 @@
+// Differential suite: the dense Gaussian/fixed-buffer solver is the
+// executable specification, and every behaviour of the sparse CSR/CG
+// solver is held against it in lockstep — transient Advance sequences,
+// steady states, warm starts, and the integration-contract telemetry
+// (AdvanceCalls, MaxStableStep). Plans come from the paper floorplans,
+// synthetic meshes, and seeded random guillotine plans, all within the
+// dense solver's node cap so the reference can actually run.
+//
+// The file also carries the solver-generic property tests (conductance
+// symmetry, zero-power relaxation, steady-state energy balance,
+// monotonicity in power), run against both backends.
+package thermal
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/floorplan"
+)
+
+// diffPlans are the floorplans the lockstep suite runs over: every paper
+// variant plus synthetic plans up to the dense cap.
+func diffPlans() map[string]*floorplan.Plan {
+	return map[string]*floorplan.Plan{
+		"paper-iq":  floorplan.Build(config.PlanIQConstrained),
+		"paper-alu": floorplan.Build(config.PlanALUConstrained),
+		"paper-rf":  floorplan.Build(config.PlanRFConstrained),
+		"mesh-4x4":  floorplan.Mesh(4, 4),
+		"mesh-7x8":  floorplan.Mesh(7, 8), // 56 blocks: just under the dense cap
+		"rand-20":   floorplan.Random(20, 0xfeed),
+		"rand-45":   floorplan.Random(45, 0xbeef),
+		"rand-62":   floorplan.Random(62, 0xcafe), // 64 nodes: exactly at the cap
+	}
+}
+
+// densePair builds the same plan under both solvers.
+func densePair(t testing.TB, plan *floorplan.Plan) (dense, sparse *Model) {
+	t.Helper()
+	cfgD := config.Default()
+	cfgD.ThermalSolver = config.ThermalDense
+	cfgS := config.Default()
+	cfgS.ThermalSolver = config.ThermalSparse
+	var err error
+	if dense, err = New(plan, cfgD); err != nil {
+		t.Fatal(err)
+	}
+	if sparse, err = New(plan, cfgS); err != nil {
+		t.Fatal(err)
+	}
+	return dense, sparse
+}
+
+// lcg is a tiny deterministic generator for test power vectors.
+type lcg uint64
+
+func (l *lcg) next() float64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return float64(uint64(*l)>>11) / (1 << 53)
+}
+
+func randomPower(rng *lcg, n int, maxW float64) []float64 {
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = maxW * rng.next()
+	}
+	return p
+}
+
+const diffTol = 1e-9
+
+// TestDenseCapReturnsError replaces the historical 64-node panic: the
+// dense path reports the cap as an error, auto falls over to sparse, and
+// sparse has no cap at all.
+func TestDenseCapReturnsError(t *testing.T) {
+	big := floorplan.Mesh(8, 8) // 64 blocks + spreader + sink = 66 nodes
+	cfg := config.Default()
+	cfg.ThermalSolver = config.ThermalDense
+	if _, err := New(big, cfg); err == nil {
+		t.Fatal("dense solver accepted a plan beyond its integration buffer")
+	}
+	cfg.ThermalSolver = config.ThermalAuto
+	m, err := New(big, cfg)
+	if err != nil {
+		t.Fatalf("auto solver rejected a large plan: %v", err)
+	}
+	if m.Solver() != config.ThermalSparse {
+		t.Fatalf("auto resolved to %v above the cap", m.Solver())
+	}
+	// Paper-size plans stay on the dense reference under auto.
+	small, err := New(floorplan.Build(config.PlanIQConstrained), config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Solver() != config.ThermalDense {
+		t.Fatalf("auto resolved to %v at paper size", small.Solver())
+	}
+	// Unknown solver values fail closed.
+	cfg.ThermalSolver = config.ThermalSolver(99)
+	if _, err := New(big, cfg); err == nil {
+		t.Fatal("unknown solver accepted")
+	}
+}
+
+// TestDiffTransientLockstep drives both solvers through the same
+// Advance sequence — varied powers, varied durations, including
+// sub-stability and many-substep calls — and requires temperatures
+// within diffTol at every checkpoint, plus exact AdvanceCalls and
+// MaxStableStep parity.
+func TestDiffTransientLockstep(t *testing.T) {
+	for name, plan := range diffPlans() {
+		t.Run(name, func(t *testing.T) {
+			dense, sparse := densePair(t, plan)
+			if d, s := dense.MaxStableStep(), sparse.MaxStableStep(); d != s {
+				t.Fatalf("MaxStableStep diverges: dense %v sparse %v", d, s)
+			}
+			rng := lcg(0x5eed)
+			n := plan.NumBlocks()
+			for step := 0; step < 40; step++ {
+				pow := randomPower(&rng, n, 3.0)
+				// Mix durations: fractions of the stable step through
+				// hundreds of substeps.
+				dur := dense.MaxStableStep() * math.Pow(10, 4*rng.next()-1)
+				dense.Advance(pow, dur)
+				sparse.Advance(pow, dur)
+				for i := 0; i < n; i++ {
+					if d := math.Abs(dense.Temp(i) - sparse.Temp(i)); d > diffTol {
+						t.Fatalf("step %d block %d: dense %.12f sparse %.12f (Δ %.3g)",
+							step, i, dense.Temp(i), sparse.Temp(i), d)
+					}
+				}
+			}
+			if dense.AdvanceCalls != sparse.AdvanceCalls {
+				t.Fatalf("AdvanceCalls diverge: %d vs %d", dense.AdvanceCalls, sparse.AdvanceCalls)
+			}
+			if dense.AdvanceCalls != 40 {
+				t.Fatalf("AdvanceCalls = %d, want 40", dense.AdvanceCalls)
+			}
+		})
+	}
+}
+
+// TestDiffSteadyState holds CG against Gaussian elimination on random
+// power vectors, and checks SteadyStateDense matches the dense solver's
+// own SteadyState exactly (same algorithm, any-size entry point).
+func TestDiffSteadyState(t *testing.T) {
+	for name, plan := range diffPlans() {
+		t.Run(name, func(t *testing.T) {
+			dense, sparse := densePair(t, plan)
+			rng := lcg(0xabcde)
+			n := plan.NumBlocks()
+			for trial := 0; trial < 10; trial++ {
+				pow := randomPower(&rng, n, 4.0)
+				want := dense.SteadyState(pow)
+				got := sparse.SteadyState(pow)
+				for i := range want {
+					if d := math.Abs(want[i] - got[i]); d > diffTol {
+						t.Fatalf("trial %d block %d: gaussian %.12f cg %.12f (Δ %.3g)",
+							trial, i, want[i], got[i], d)
+					}
+				}
+				ref := sparse.SteadyStateDense(pow)
+				for i := range want {
+					if ref[i] != want[i] {
+						t.Fatalf("SteadyStateDense diverges from the dense solver at block %d", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDiffWarmStart checks the full warm-start state (blocks and sink)
+// agrees across solvers, then that both hold steady under the same
+// power.
+func TestDiffWarmStart(t *testing.T) {
+	for name, plan := range diffPlans() {
+		t.Run(name, func(t *testing.T) {
+			dense, sparse := densePair(t, plan)
+			rng := lcg(0x77)
+			pow := randomPower(&rng, plan.NumBlocks(), 2.5)
+			dense.WarmStart(pow)
+			sparse.WarmStart(pow)
+			for i := 0; i < plan.NumBlocks(); i++ {
+				if d := math.Abs(dense.Temp(i) - sparse.Temp(i)); d > diffTol {
+					t.Fatalf("block %d: dense %.12f sparse %.12f", i, dense.Temp(i), sparse.Temp(i))
+				}
+			}
+			if d := math.Abs(dense.SinkTemp() - sparse.SinkTemp()); d > diffTol {
+				t.Fatalf("sink: dense %.12f sparse %.12f", dense.SinkTemp(), sparse.SinkTemp())
+			}
+			// A warm-started model must not drift under the same power.
+			sparse.Advance(pow, 1e-3)
+			for i := 0; i < plan.NumBlocks(); i++ {
+				if d := math.Abs(dense.Temp(i) - sparse.Temp(i)); d > 1e-6 {
+					t.Fatalf("sparse drifted from its own steady state at block %d (Δ %.3g)", i, d)
+				}
+			}
+		})
+	}
+}
+
+// --- Solver-generic property tests -----------------------------------------
+
+// eachSolver runs f against a model built with each backend on the given
+// plan (skipping dense when the plan exceeds its cap).
+func eachSolver(t *testing.T, plan *floorplan.Plan, f func(t *testing.T, m *Model, cfg *config.Config)) {
+	for _, solver := range []config.ThermalSolver{config.ThermalDense, config.ThermalSparse} {
+		t.Run(solver.String(), func(t *testing.T) {
+			cfg := config.Default()
+			cfg.ThermalSolver = solver
+			m, err := New(plan, cfg)
+			if err != nil {
+				if solver == config.ThermalDense && plan.NumBlocks()+2 > DenseMaxNodes {
+					t.Skip("plan beyond the dense cap")
+				}
+				t.Fatal(err)
+			}
+			f(t, m, cfg)
+		})
+	}
+}
+
+func propertyPlans() map[string]*floorplan.Plan {
+	return map[string]*floorplan.Plan{
+		"paper-iq": floorplan.Build(config.PlanIQConstrained),
+		"mesh-6x7": floorplan.Mesh(6, 7),
+		"rand-33":  floorplan.Random(33, 0x1234),
+	}
+}
+
+// TestPropertyConductanceSymmetry: g[i][j] == g[j][i] for every node
+// pair, on both backends (they share the CSR build, so this pins the
+// construction, not just the accessor).
+func TestPropertyConductanceSymmetry(t *testing.T) {
+	for name, plan := range propertyPlans() {
+		t.Run(name, func(t *testing.T) {
+			eachSolver(t, plan, func(t *testing.T, m *Model, _ *config.Config) {
+				for i := 0; i < m.nTotal; i++ {
+					for j := i + 1; j < m.nTotal; j++ {
+						if gij, gji := m.conductance(i, j), m.conductance(j, i); gij != gji {
+							t.Fatalf("asymmetric conductance (%d,%d): %v vs %v", i, j, gij, gji)
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestPropertyZeroPowerRelaxation: with no power, any initial state
+// relaxes toward ambient, and the zero-power steady state is ambient
+// exactly (to solver tolerance).
+func TestPropertyZeroPowerRelaxation(t *testing.T) {
+	for name, plan := range propertyPlans() {
+		t.Run(name, func(t *testing.T) {
+			eachSolver(t, plan, func(t *testing.T, m *Model, cfg *config.Config) {
+				n := m.NumBlocks()
+				ss := m.SteadyState(make([]float64, n))
+				for i, temp := range ss {
+					if math.Abs(temp-cfg.AmbientK) > 1e-6 {
+						t.Fatalf("block %d zero-power steady state %v", i, temp)
+					}
+				}
+				hot := make([]float64, n)
+				for i := range hot {
+					hot[i] = cfg.AmbientK + 20
+				}
+				m.SetTemps(hot)
+				before := m.Temp(0)
+				m.Advance(make([]float64, n), 0.050)
+				after := m.Temp(0)
+				if after >= before {
+					t.Fatalf("no relaxation: %.3f -> %.3f", before, after)
+				}
+				if after < cfg.AmbientK-1e-9 {
+					t.Fatalf("undershot ambient: %.6f", after)
+				}
+			})
+		})
+	}
+}
+
+// TestPropertyEnergyBalance: at steady state, all injected power leaves
+// through the convection resistance, so the sink sits at exactly
+// ambient + P_total·R_conv.
+func TestPropertyEnergyBalance(t *testing.T) {
+	for name, plan := range propertyPlans() {
+		t.Run(name, func(t *testing.T) {
+			eachSolver(t, plan, func(t *testing.T, m *Model, cfg *config.Config) {
+				rng := lcg(0x42)
+				pow := randomPower(&rng, m.NumBlocks(), 2.0)
+				total := 0.0
+				for _, p := range pow {
+					total += p
+				}
+				m.WarmStart(pow)
+				want := cfg.AmbientK + total*cfg.ConvectionRes
+				if got := m.SinkTemp(); math.Abs(got-want) > 1e-6 {
+					t.Fatalf("sink %v, want %v (conservation violated)", got, want)
+				}
+			})
+		})
+	}
+}
+
+// TestPropertyMonotoneInPower: raising one block's power never lowers
+// any block's steady-state temperature, and strictly raises its own.
+func TestPropertyMonotoneInPower(t *testing.T) {
+	for name, plan := range propertyPlans() {
+		t.Run(name, func(t *testing.T) {
+			eachSolver(t, plan, func(t *testing.T, m *Model, _ *config.Config) {
+				rng := lcg(0x99)
+				base := randomPower(&rng, m.NumBlocks(), 1.0)
+				low := m.SteadyState(base)
+				for _, idx := range []int{0, m.NumBlocks() / 2, m.NumBlocks() - 1} {
+					bumped := make([]float64, len(base))
+					copy(bumped, base)
+					bumped[idx] += 1.5
+					high := m.SteadyState(bumped)
+					for i := range low {
+						if high[i] < low[i]-1e-9 {
+							t.Fatalf("block %d cooled when block %d's power rose", i, idx)
+						}
+					}
+					if high[idx]-low[idx] < 1e-4 {
+						t.Fatalf("block %d barely warmed under its own power", idx)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestLargeMeshEndToEnd is the scale acceptance check: a 3000-node mesh
+// plan (50×60 blocks) builds, integrates transients, and solves steady
+// states on the sparse path — the configuration the historical 64-node
+// panic made impossible — with physically sane results.
+func TestLargeMeshEndToEnd(t *testing.T) {
+	rows, cols := 50, 60
+	if testing.Short() {
+		rows, cols = 20, 30
+	}
+	plan := floorplan.Mesh(rows, cols)
+	cfg := config.Default()
+	m, err := New(plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Solver() != config.ThermalSparse {
+		t.Fatalf("solver %v for %d nodes", m.Solver(), plan.NumBlocks()+2)
+	}
+	n := plan.NumBlocks()
+	pow := make([]float64, n)
+	total := 0.0
+	for i := range pow {
+		pow[i] = 40.0 / float64(n) // ~40 W chip
+		total += pow[i]
+	}
+	// Steady state: energy balance pins the sink; the interior must sit
+	// above ambient and below an absurd bound.
+	m.WarmStart(pow)
+	wantSink := cfg.AmbientK + total*cfg.ConvectionRes
+	if got := m.SinkTemp(); math.Abs(got-wantSink) > 1e-6 {
+		t.Fatalf("sink %v, want %v", got, wantSink)
+	}
+	for i := 0; i < n; i++ {
+		if temp := m.Temp(i); math.IsNaN(temp) || temp < cfg.AmbientK || temp > 500 {
+			t.Fatalf("block %d unphysical steady temp %v", i, temp)
+		}
+	}
+	// Transient: a sensor interval's worth of integration stays finite
+	// and counts one Advance.
+	dt := float64(cfg.SensorIntervalCycles) * cfg.ThermalSecondsPerCycle()
+	m.Advance(pow, dt)
+	if m.AdvanceCalls != 1 {
+		t.Fatalf("AdvanceCalls = %d", m.AdvanceCalls)
+	}
+	for i := 0; i < n; i++ {
+		if temp := m.Temp(i); math.IsNaN(temp) || temp > 500 {
+			t.Fatalf("block %d unphysical transient temp %v", i, temp)
+		}
+	}
+	// And a corner block heated alone must dominate its diagonal
+	// opposite (vertical-dominance sanity at scale).
+	solo := make([]float64, n)
+	solo[plan.Index(floorplan.MeshCell(0, 0))] = 5.0
+	ss := m.SteadyState(solo)
+	hot := ss[plan.Index(floorplan.MeshCell(0, 0))]
+	far := ss[plan.Index(floorplan.MeshCell(rows-1, cols-1))]
+	if hot-cfg.AmbientK < 2*(far-cfg.AmbientK) {
+		t.Fatalf("no locality at scale: hot rise %.4f vs far rise %.4f", hot-cfg.AmbientK, far-cfg.AmbientK)
+	}
+}
+
+// TestSparseAdvanceDoesNotAllocate locks the sparse transient path to
+// zero steady-state heap traffic, matching the dense path's fixed
+// buffer: the per-interval Advance sits on the simulator's hot loop.
+func TestSparseAdvanceDoesNotAllocate(t *testing.T) {
+	plan := floorplan.Mesh(20, 20)
+	cfg := config.Default()
+	m, err := New(plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pow := make([]float64, plan.NumBlocks())
+	for i := range pow {
+		pow[i] = 0.05
+	}
+	dt := m.MaxStableStep() * 10
+	m.Advance(pow, dt) // warm any lazy state
+	if avg := testing.AllocsPerRun(50, func() { m.Advance(pow, dt) }); avg != 0 {
+		t.Fatalf("sparse Advance allocates %.1f objects per call", avg)
+	}
+}
+
+// TestSteadyStateScratchReuse: repeated sparse steady-state solves reuse
+// the CG scratch — only the returned result slice is allocated.
+func TestSteadyStateScratchReuse(t *testing.T) {
+	plan := floorplan.Mesh(15, 15)
+	cfg := config.Default()
+	m, err := New(plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pow := make([]float64, plan.NumBlocks())
+	pow[0] = 2.0
+	m.SteadyState(pow) // size the scratch
+	if avg := testing.AllocsPerRun(20, func() { m.SteadyState(pow) }); avg > 1 {
+		t.Fatalf("sparse SteadyState allocates %.1f objects per call, want just the result", avg)
+	}
+}
+
+func TestSolverString(t *testing.T) {
+	for want, s := range map[string]config.ThermalSolver{
+		"auto": config.ThermalAuto, "dense": config.ThermalDense, "sparse": config.ThermalSparse,
+	} {
+		if s.String() != want {
+			t.Fatalf("String() = %q, want %q", s.String(), want)
+		}
+	}
+	if got := fmt.Sprint(config.ThermalSolver(7)); got != "ThermalSolver(7)" {
+		t.Fatalf("out-of-range String() = %q", got)
+	}
+}

@@ -16,11 +16,27 @@
 //     capacitances by 1/s speeds every transient by s without moving any
 //     steady state. The simulator exploits this (config.ThermalAccel) to
 //     reproduce 120 ms of paper-time heating in few-million-cycle runs.
+//
+// Two solver backends share one Model (config.ThermalSolver picks):
+//
+//   - The dense path is the executable reference: a mirrored [][]float64
+//     conductance matrix, a fixed-size explicit-Euler buffer (at most
+//     DenseMaxNodes nodes), and Gaussian elimination for steady states.
+//     It reproduces the paper's runs byte for byte.
+//   - The sparse path iterates the CSR adjacency directly (no node cap,
+//     no per-step allocation) and solves steady states with Jacobi-
+//     preconditioned conjugate gradient on the symmetric positive-
+//     definite conductance Laplacian; see sparse.go.
+//
+// config.ThermalAuto (the default) selects dense at paper sizes and
+// sparse above DenseMaxNodes, so existing runs are unchanged while
+// mesh-scale floorplans (floorplan.Mesh, floorplan.Random) just work.
 package thermal
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/config"
 	"repro/internal/floorplan"
@@ -49,6 +65,12 @@ const (
 	LateralConstriction = 0.18
 )
 
+// DenseMaxNodes is the largest network (blocks + spreader + sink) the
+// dense solver accepts: its explicit-Euler scratch is a fixed stack
+// buffer of this size. config.ThermalAuto switches to the sparse solver
+// above it; config.ThermalDense returns an error from New instead.
+const DenseMaxNodes = 64
+
 // Model is the thermal network. Node layout: nodes 0..N-1 are floorplan
 // blocks, node N is the heat spreader, node N+1 is the heat sink. Ambient
 // is a fixed-temperature boundary attached to the sink.
@@ -57,15 +79,27 @@ type Model struct {
 	n       int // number of block nodes
 	nTotal  int // blocks + spreader + sink
 	ambient float64
+	solver  config.ThermalSolver // resolved: ThermalDense or ThermalSparse
 
-	// g[i][j] is the conductance between nodes i and j (symmetric,
-	// zero diagonal); gAmb[i] couples node i to ambient.
+	// CSR form of the symmetric conductance graph: row i's neighbours are
+	// colIdx[rowPtr[i]:rowPtr[i+1]] in ascending column order with
+	// conductances in gval. Both solvers are built from this; the dense
+	// solver additionally mirrors it into g below.
+	rowPtr []int32
+	colIdx []int32
+	gval   []float64
+
+	// g[i][j] is the dense conductance mirror (symmetric, zero diagonal);
+	// nil on the sparse path.
 	g    [][]float64
-	gAmb []float64
+	gAmb []float64 // gAmb[i] couples node i to ambient
 	c    []float64 // capacitance per node
 	t    []float64 // current temperature per node
 
 	maxStable float64 // largest stable Euler step
+
+	dT []float64 // sparse-path integration scratch (no per-step alloc)
+	cg cgScratch // sparse-path steady-state scratch (lazily sized)
 
 	// AdvanceCalls counts integration calls (for tests/telemetry).
 	AdvanceCalls uint64
@@ -73,27 +107,47 @@ type Model struct {
 
 // New builds the network for a floorplan under the given package
 // configuration. Initial temperatures are ambient everywhere; call
-// WarmStart (or SetTemps) to begin from a steady state.
-func New(plan *floorplan.Plan, cfg *config.Config) *Model {
+// WarmStart (or SetTemps) to begin from a steady state. It fails only
+// when cfg forces the dense solver onto a network larger than
+// DenseMaxNodes (the fixed-size integration buffer) or names an unknown
+// solver; the sparse solver has no size cap.
+func New(plan *floorplan.Plan, cfg *config.Config) (*Model, error) {
 	n := plan.NumBlocks()
 	nTotal := n + 2
-	if nTotal > 64 {
-		panic("thermal: floorplan too large for fixed-size integration buffer")
+	solver := cfg.ThermalSolver
+	switch solver {
+	case config.ThermalAuto:
+		if nTotal > DenseMaxNodes {
+			solver = config.ThermalSparse
+		} else {
+			solver = config.ThermalDense
+		}
+	case config.ThermalDense:
+		if nTotal > DenseMaxNodes {
+			return nil, fmt.Errorf("thermal: %d nodes exceed the dense solver's %d-node integration buffer (use the sparse or auto solver)", nTotal, DenseMaxNodes)
+		}
+	case config.ThermalSparse:
+	default:
+		return nil, fmt.Errorf("thermal: unknown solver %v", cfg.ThermalSolver)
 	}
 	m := &Model{
 		plan:    plan,
 		n:       n,
 		nTotal:  nTotal,
 		ambient: cfg.AmbientK,
-		g:       make([][]float64, nTotal),
+		solver:  solver,
 		gAmb:    make([]float64, nTotal),
 		c:       make([]float64, nTotal),
 		t:       make([]float64, nTotal),
 	}
-	for i := range m.g {
-		m.g[i] = make([]float64, nTotal)
-	}
 	spreader, sink := n, n+1
+
+	// Conductance edges, each recorded once per unordered pair.
+	type edge struct {
+		a, b int
+		g    float64
+	}
+	edges := make([]edge, 0, n+len(plan.Adj)+1)
 
 	for i, b := range plan.Blocks {
 		area := b.Area()
@@ -101,8 +155,7 @@ func New(plan *floorplan.Plan, cfg *config.Config) *Model {
 		// generated at the active layer) plus the spreading resistance
 		// into the copper, both inversely proportional to block area.
 		rv := DieThickness/(KSilicon*area) + SpreaderThickness/(KCopper*area)/2
-		m.g[i][spreader] = 1 / rv
-		m.g[spreader][i] = 1 / rv
+		edges = append(edges, edge{i, spreader, 1 / rv})
 		m.c[i] = CvSilicon * area * DieThickness
 	}
 	// Lateral conduction between floorplan neighbours: a silicon bar of
@@ -115,31 +168,83 @@ func New(plan *floorplan.Plan, cfg *config.Config) *Model {
 	// across adjacent ALUs, §4.2) cannot form.
 	for _, adj := range plan.Adj {
 		gl := LateralConstriction * KSilicon * DieThickness * adj.Shared / adj.Dist
-		m.g[adj.A][adj.B] += gl
-		m.g[adj.B][adj.A] += gl
+		edges = append(edges, edge{adj.A, adj.B, gl})
 	}
 
 	// Spreader and sink lumps.
 	m.c[spreader] = CvCopper * SpreaderSide * SpreaderSide * SpreaderThickness
 	sinkThick := cfg.HeatsinkThicknessMM * 1e-3
 	m.c[sink] = CvCopper * SinkSide * SinkSide * sinkThick
-	m.g[spreader][sink] = 1 / SpreaderSinkRes
-	m.g[sink][spreader] = 1 / SpreaderSinkRes
+	edges = append(edges, edge{spreader, sink, 1 / SpreaderSinkRes})
 	m.gAmb[sink] = 1 / cfg.ConvectionRes
+
+	// Assemble the CSR rows: bucket both directions of every edge, sort
+	// each row by column (stable, so duplicate records — which no current
+	// plan produces — would merge in insertion order), then merge.
+	type entry struct {
+		col int32
+		g   float64
+	}
+	rows := make([][]entry, nTotal)
+	for _, e := range edges {
+		rows[e.a] = append(rows[e.a], entry{int32(e.b), e.g})
+		rows[e.b] = append(rows[e.b], entry{int32(e.a), e.g})
+	}
+	m.rowPtr = make([]int32, nTotal+1)
+	for i, row := range rows {
+		sort.SliceStable(row, func(a, b int) bool { return row[a].col < row[b].col })
+		merged := row[:0]
+		for _, e := range row {
+			if k := len(merged); k > 0 && merged[k-1].col == e.col {
+				merged[k-1].g += e.g
+			} else {
+				merged = append(merged, e)
+			}
+		}
+		rows[i] = merged
+		m.rowPtr[i+1] = m.rowPtr[i] + int32(len(merged))
+	}
+	nnz := m.rowPtr[nTotal]
+	m.colIdx = make([]int32, nnz)
+	m.gval = make([]float64, nnz)
+	for i, row := range rows {
+		base := m.rowPtr[i]
+		for k, e := range row {
+			m.colIdx[base+int32(k)] = e.col
+			m.gval[base+int32(k)] = e.g
+		}
+	}
+
+	if solver == config.ThermalDense {
+		// Dense mirror for the reference integrator.
+		m.g = make([][]float64, nTotal)
+		for i := range m.g {
+			m.g[i] = make([]float64, nTotal)
+			for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+				m.g[i][m.colIdx[k]] = m.gval[k]
+			}
+		}
+	} else {
+		m.dT = make([]float64, nTotal)
+	}
 
 	for i := range m.t {
 		m.t[i] = cfg.AmbientK
 	}
 	m.maxStable = m.computeMaxStable()
-	return m
+	return m, nil
 }
 
+// computeMaxStable derives the explicit-Euler stability bound from the
+// fastest node time constant. The CSR row sums visit the same nonzeros
+// in the same ascending-column order as the historical dense loop, so
+// the bound is bit-identical across solvers.
 func (m *Model) computeMaxStable() float64 {
 	minTau := math.Inf(1)
 	for i := 0; i < m.nTotal; i++ {
 		sum := m.gAmb[i]
-		for j := 0; j < m.nTotal; j++ {
-			sum += m.g[i][j]
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			sum += m.gval[k]
 		}
 		if sum > 0 {
 			if tau := m.c[i] / sum; tau < minTau {
@@ -149,6 +254,10 @@ func (m *Model) computeMaxStable() float64 {
 	}
 	return minTau / 2 // explicit Euler stability with margin
 }
+
+// Solver reports which backend the model resolved to (ThermalDense or
+// ThermalSparse, never ThermalAuto).
+func (m *Model) Solver() config.ThermalSolver { return m.solver }
 
 // NumBlocks returns the number of floorplan block nodes.
 func (m *Model) NumBlocks() int { return m.n }
@@ -200,14 +309,21 @@ func (m *Model) Advance(power []float64, seconds float64) {
 	m.AdvanceCalls++
 	steps := int(seconds/m.maxStable) + 1
 	dt := seconds / float64(steps)
+	if m.solver == config.ThermalSparse {
+		for s := 0; s < steps; s++ {
+			m.stepSparse(power, dt)
+		}
+		return
+	}
 	for s := 0; s < steps; s++ {
 		m.step(power, dt)
 	}
 }
 
+// step is the dense reference Euler substep.
 func (m *Model) step(power []float64, dt float64) {
 	// dT_i = dt/C_i * (P_i + sum_j G_ij (T_j - T_i) + G_amb (T_amb - T_i))
-	var dT [64]float64 // nTotal is small; avoid per-step allocation
+	var dT [DenseMaxNodes]float64 // nTotal is capped; avoid per-step allocation
 	d := dT[:m.nTotal]
 	for i := 0; i < m.nTotal; i++ {
 		flow := 0.0
@@ -233,31 +349,35 @@ func (m *Model) step(power []float64, dt float64) {
 
 // SteadyState solves for the equilibrium temperatures under constant
 // per-block power and returns them (block nodes only). The model's current
-// temperatures are not modified.
+// temperatures are not modified. The dense path uses Gaussian elimination;
+// the sparse path conjugate gradient (see sparse.go).
 func (m *Model) SteadyState(power []float64) []float64 {
 	if len(power) != m.n {
 		panic("thermal: SteadyState power length mismatch")
 	}
-	// Build the linear system A·T = b where A is the conductance
-	// Laplacian plus ambient coupling and b is power plus ambient inflow.
-	nt := m.nTotal
-	a := make([][]float64, nt)
-	b := make([]float64, nt)
-	for i := 0; i < nt; i++ {
-		a[i] = make([]float64, nt)
-		diag := m.gAmb[i]
-		for j := 0; j < nt; j++ {
-			if i != j && m.g[i][j] != 0 {
-				a[i][j] = -m.g[i][j]
-				diag += m.g[i][j]
-			}
-		}
-		a[i][i] = diag
-		b[i] = m.gAmb[i] * m.ambient
-		if i < m.n {
-			b[i] += power[i]
-		}
+	out := make([]float64, m.n)
+	if m.solver == config.ThermalSparse {
+		m.cg.ensure(m.nTotal)
+		m.solveCG(power, m.cg.x)
+		copy(out, m.cg.x[:m.n])
+		return out
 	}
+	a, b := m.denseSystem(power)
+	solveInPlace(a, b)
+	copy(out, b[:m.n])
+	return out
+}
+
+// SteadyStateDense solves the same equilibrium with the dense Gaussian
+// reference regardless of the model's solver. Unlike the dense transient
+// integrator it has no node cap — it materializes the O(n²) system on
+// every call — so differential tests and benchmarks can hold the sparse
+// solver against the reference at any size.
+func (m *Model) SteadyStateDense(power []float64) []float64 {
+	if len(power) != m.n {
+		panic("thermal: SteadyStateDense power length mismatch")
+	}
+	a, b := m.denseSystem(power)
 	solveInPlace(a, b)
 	return b[:m.n]
 }
@@ -266,17 +386,35 @@ func (m *Model) SteadyState(power []float64) []float64 {
 // per-block power. This mirrors HotSpot's standard practice of
 // initializing from the steady-state solution of the average power trace.
 func (m *Model) WarmStart(power []float64) {
+	if len(power) != m.n {
+		panic("thermal: WarmStart power length mismatch")
+	}
+	if m.solver == config.ThermalSparse {
+		m.cg.ensure(m.nTotal)
+		m.solveCG(power, m.cg.x)
+		copy(m.t, m.cg.x)
+		return
+	}
+	a, b := m.denseSystem(power)
+	solveInPlace(a, b)
+	copy(m.t, b)
+}
+
+// denseSystem builds the steady-state linear system A·T = b, where A is
+// the conductance Laplacian plus ambient coupling and b is power plus
+// ambient inflow. The CSR traversal adds the same nonzeros in the same
+// order as the historical dense loops, keeping the dense path
+// byte-identical.
+func (m *Model) denseSystem(power []float64) ([][]float64, []float64) {
 	nt := m.nTotal
 	a := make([][]float64, nt)
 	b := make([]float64, nt)
 	for i := 0; i < nt; i++ {
 		a[i] = make([]float64, nt)
 		diag := m.gAmb[i]
-		for j := 0; j < nt; j++ {
-			if i != j && m.g[i][j] != 0 {
-				a[i][j] = -m.g[i][j]
-				diag += m.g[i][j]
-			}
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			a[i][m.colIdx[k]] = -m.gval[k]
+			diag += m.gval[k]
 		}
 		a[i][i] = diag
 		b[i] = m.gAmb[i] * m.ambient
@@ -284,13 +422,13 @@ func (m *Model) WarmStart(power []float64) {
 			b[i] += power[i]
 		}
 	}
-	solveInPlace(a, b)
-	copy(m.t, b)
+	return a, b
 }
 
 // solveInPlace performs Gaussian elimination with partial pivoting on the
-// dense system a·x = b, leaving x in b. Sizes here are ~30, so a dense
-// solve is simplest and exact.
+// dense system a·x = b, leaving x in b. Paper-scale systems are ~30
+// nodes, where a dense solve is simplest and exact; it also serves as the
+// any-size reference behind SteadyStateDense.
 func solveInPlace(a [][]float64, b []float64) {
 	n := len(b)
 	for col := 0; col < n; col++ {
@@ -327,15 +465,33 @@ func solveInPlace(a [][]float64, b []float64) {
 	}
 }
 
+// conductance returns the direct conductance between nodes i and j (0 if
+// not coupled) via binary search in row i's CSR columns.
+func (m *Model) conductance(i, j int) float64 {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch c := m.colIdx[mid]; {
+		case c == int32(j):
+			return m.gval[mid]
+		case c < int32(j):
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return 0
+}
+
 // VerticalResistance returns the block-to-spreader thermal resistance of
 // block i (K/W); exported for calibration and tests.
 func (m *Model) VerticalResistance(i int) float64 {
-	return 1 / m.g[i][m.n]
+	return 1 / m.conductance(i, m.n)
 }
 
 // LateralConductance returns the direct block-to-block conductance between
 // blocks i and j (0 if not adjacent).
-func (m *Model) LateralConductance(i, j int) float64 { return m.g[i][j] }
+func (m *Model) LateralConductance(i, j int) float64 { return m.conductance(i, j) }
 
 // ScaleCapacitances multiplies every node capacitance by f, rescaling all
 // transients by 1/f without changing any steady state. The simulator uses

@@ -8,14 +8,19 @@ import (
 	"repro/internal/floorplan"
 )
 
-func newModel() (*Model, *floorplan.Plan, *config.Config) {
+func newModel(t testing.TB) (*Model, *floorplan.Plan, *config.Config) {
+	t.Helper()
 	cfg := config.Default()
 	plan := floorplan.Build(config.PlanIQConstrained)
-	return New(plan, cfg), plan, cfg
+	m, err := New(plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, plan, cfg
 }
 
 func TestInitialTemperaturesAmbient(t *testing.T) {
-	m, _, cfg := newModel()
+	m, _, cfg := newModel(t)
 	for i := 0; i < m.NumBlocks(); i++ {
 		if m.Temp(i) != cfg.AmbientK {
 			t.Fatalf("block %d starts at %v", i, m.Temp(i))
@@ -24,7 +29,7 @@ func TestInitialTemperaturesAmbient(t *testing.T) {
 }
 
 func TestSteadyStateZeroPowerIsAmbient(t *testing.T) {
-	m, _, cfg := newModel()
+	m, _, cfg := newModel(t)
 	ts := m.SteadyState(make([]float64, m.NumBlocks()))
 	for i, temp := range ts {
 		if math.Abs(temp-cfg.AmbientK) > 1e-6 {
@@ -36,7 +41,7 @@ func TestSteadyStateZeroPowerIsAmbient(t *testing.T) {
 func TestSteadyStateEnergyConservation(t *testing.T) {
 	// At steady state all injected power must leave through the
 	// convection resistance: T_sink - T_amb = P_total * R_conv.
-	m, _, cfg := newModel()
+	m, _, cfg := newModel(t)
 	p := make([]float64, m.NumBlocks())
 	total := 0.0
 	for i := range p {
@@ -51,7 +56,7 @@ func TestSteadyStateEnergyConservation(t *testing.T) {
 }
 
 func TestSteadyStateMonotoneInPower(t *testing.T) {
-	m, plan, _ := newModel()
+	m, plan, _ := newModel(t)
 	idx := plan.Index(floorplan.IntQ0)
 	p := make([]float64, m.NumBlocks())
 	p[idx] = 1.0
@@ -72,7 +77,7 @@ func TestVerticalDominatesLateral(t *testing.T) {
 	// Power one ALU only: it must get much hotter than its neighbour,
 	// reproducing the paper's observation that heat conducts mostly
 	// vertically. (§4.2 observes >4 K spread across adjacent ALUs.)
-	m, plan, cfg := newModel()
+	m, plan, cfg := newModel(t)
 	hot := plan.Index(floorplan.IntExec(0))
 	neighbor := plan.Index(floorplan.IntExec(1))
 	p := make([]float64, m.NumBlocks())
@@ -89,7 +94,7 @@ func TestVerticalDominatesLateral(t *testing.T) {
 }
 
 func TestAdvanceConvergesToSteadyState(t *testing.T) {
-	m, _, _ := newModel()
+	m, _, _ := newModel(t)
 	p := make([]float64, m.NumBlocks())
 	for i := range p {
 		p[i] = 1.0
@@ -111,8 +116,8 @@ func TestAdvanceConvergesToSteadyState(t *testing.T) {
 }
 
 func TestCapacitanceScalingPreservesSteadyState(t *testing.T) {
-	m1, _, _ := newModel()
-	m2, _, _ := newModel()
+	m1, _, _ := newModel(t)
+	m2, _, _ := newModel(t)
 	m2.ScaleCapacitances(1.0 / 64)
 	p := make([]float64, m1.NumBlocks())
 	p[0] = 3.0
@@ -126,8 +131,8 @@ func TestCapacitanceScalingPreservesSteadyState(t *testing.T) {
 }
 
 func TestCapacitanceScalingAcceleratesTransients(t *testing.T) {
-	mSlow, _, _ := newModel()
-	mFast, _, _ := newModel()
+	mSlow, _, _ := newModel(t)
+	mFast, _, _ := newModel(t)
 	const accel = 16
 	mFast.ScaleCapacitances(1.0 / accel)
 	p := make([]float64, mSlow.NumBlocks())
@@ -144,7 +149,7 @@ func TestCapacitanceScalingAcceleratesTransients(t *testing.T) {
 }
 
 func TestWarmStartMatchesSteadyState(t *testing.T) {
-	m, _, _ := newModel()
+	m, _, _ := newModel(t)
 	p := make([]float64, m.NumBlocks())
 	for i := range p {
 		p[i] = 0.5 + 0.1*float64(i%4)
@@ -167,7 +172,7 @@ func TestWarmStartMatchesSteadyState(t *testing.T) {
 }
 
 func TestCoolingDecaysTowardAmbient(t *testing.T) {
-	m, _, _ := newModel()
+	m, _, _ := newModel(t)
 	p := make([]float64, m.NumBlocks())
 	for i := range p {
 		p[i] = 2.0
@@ -189,7 +194,7 @@ func TestCoolingDecaysTowardAmbient(t *testing.T) {
 }
 
 func TestTempsAndSetTemps(t *testing.T) {
-	m, _, _ := newModel()
+	m, _, _ := newModel(t)
 	ts := m.Temps(nil)
 	if len(ts) != m.NumBlocks() {
 		t.Fatal("Temps length")
@@ -211,7 +216,7 @@ func TestTempsAndSetTemps(t *testing.T) {
 }
 
 func TestTempByName(t *testing.T) {
-	m, plan, _ := newModel()
+	m, plan, _ := newModel(t)
 	ts := m.Temps(nil)
 	ts[plan.Index(floorplan.IntQ1)] = 351.5
 	m.SetTemps(ts)
@@ -221,7 +226,7 @@ func TestTempByName(t *testing.T) {
 }
 
 func TestPanics(t *testing.T) {
-	m, _, _ := newModel()
+	m, _, _ := newModel(t)
 	for name, f := range map[string]func(){
 		"SetTemps wrong len":    func() { m.SetTemps(make([]float64, 3)) },
 		"Advance wrong len":     func() { m.Advance(make([]float64, 3), 1e-3) },
@@ -240,7 +245,7 @@ func TestPanics(t *testing.T) {
 }
 
 func TestAdvanceZeroDurationNoop(t *testing.T) {
-	m, _, _ := newModel()
+	m, _, _ := newModel(t)
 	before := m.Temps(nil)
 	m.Advance(make([]float64, m.NumBlocks()), 0)
 	for i := range before {
@@ -253,7 +258,7 @@ func TestAdvanceZeroDurationNoop(t *testing.T) {
 func TestStabilityUnderLongSteps(t *testing.T) {
 	// A single Advance over many stability limits must subdivide and stay
 	// finite/physical.
-	m, _, cfg := newModel()
+	m, _, cfg := newModel(t)
 	p := make([]float64, m.NumBlocks())
 	for i := range p {
 		p[i] = 3.0
@@ -268,7 +273,7 @@ func TestStabilityUnderLongSteps(t *testing.T) {
 }
 
 func TestVerticalResistanceScalesWithArea(t *testing.T) {
-	m, plan, _ := newModel()
+	m, plan, _ := newModel(t)
 	small := plan.Index(floorplan.IntQ0)  // shrunk in IQ-constrained plan
 	large := plan.Index(floorplan.ICache) // big cache block
 	if m.VerticalResistance(small) <= m.VerticalResistance(large) {
@@ -277,7 +282,7 @@ func TestVerticalResistanceScalesWithArea(t *testing.T) {
 }
 
 func TestLateralConductanceSymmetric(t *testing.T) {
-	m, plan, _ := newModel()
+	m, plan, _ := newModel(t)
 	a, b := plan.Index(floorplan.IntQ0), plan.Index(floorplan.IntQ1)
 	if m.LateralConductance(a, b) != m.LateralConductance(b, a) {
 		t.Fatal("lateral conductance asymmetric")
@@ -296,7 +301,7 @@ func TestLateralConductanceSymmetric(t *testing.T) {
 // at block i caused by power injected at block j equals the rise at j
 // caused by the same power at i.
 func TestReciprocity(t *testing.T) {
-	m, plan, cfg := newModel()
+	m, plan, cfg := newModel(t)
 	i := plan.Index(floorplan.IntQ0)
 	j := plan.Index(floorplan.ICache)
 
@@ -317,7 +322,7 @@ func TestReciprocity(t *testing.T) {
 // vectors is the sum of the responses (the property the thermal
 // acceleration relies on).
 func TestSuperposition(t *testing.T) {
-	m, plan, cfg := newModel()
+	m, plan, cfg := newModel(t)
 	a := make([]float64, m.NumBlocks())
 	b := make([]float64, m.NumBlocks())
 	a[plan.Index(floorplan.IntExec(0))] = 2.0

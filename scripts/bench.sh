@@ -5,11 +5,12 @@
 #
 #   scripts/bench.sh [-count N] [-out FILE] [pattern]
 #
-# Runs the cycle-loop microbenchmarks (default: BenchmarkPipelineCycle
-# and BenchmarkSimInterval) with -benchmem -count=5 and writes
-# BENCH_pipeline.json: the raw `go test -bench` text (benchstat's input
-# format) alongside machine-readable per-run samples. Compare two
-# checkouts with:
+# Runs the gated microbenchmarks (default: the cycle hot loop —
+# BenchmarkPipelineCycle and BenchmarkSimInterval — plus the thermal
+# axis, BenchmarkThermalAdvance and BenchmarkThermalSteadyState at
+# N=30/300/3000) with -benchmem -count=5 and writes BENCH_pipeline.json:
+# the raw `go test -bench` text (benchstat's input format) alongside
+# machine-readable per-run samples. Compare two checkouts with:
 #
 #   scripts/bench.sh -out /tmp/old.json            # on the baseline
 #   scripts/bench.sh -out /tmp/new.json            # on the change
@@ -22,7 +23,7 @@ cd "$(dirname "$0")/.."
 
 COUNT=5
 OUT=BENCH_pipeline.json
-PATTERN='BenchmarkPipelineCycle|BenchmarkSimInterval'
+PATTERN='BenchmarkPipelineCycle|BenchmarkSimInterval|BenchmarkThermalAdvance|BenchmarkThermalSteadyState'
 while [[ $# -gt 0 ]]; do
   case "$1" in
     -count) COUNT="$2"; shift 2 ;;

@@ -2,8 +2,11 @@
 // compares a freshly measured BENCH record (scripts/bench.sh output)
 // against the checked-in reference and:
 //
-//   - fails (exit 1) if any hot-loop benchmark allocates — the cycle loop
-//     is allocation-free by construction and must stay that way;
+//   - fails (exit 1) if any benchmark matching -allocfree allocates —
+//     the cycle loop and the per-interval thermal Advance are
+//     allocation-free by construction and must stay that way (the
+//     steady-state solver benchmarks are exempt: they return a result
+//     slice per solve by design and are gated on time only);
 //   - fails if a benchmark's median ns/op regressed more than -fail
 //     percent against the reference AND both records were measured on the
 //     same CPU model;
@@ -23,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 )
 
@@ -71,7 +75,14 @@ func main() {
 	newPath := flag.String("new", "", "freshly measured record to gate")
 	warnPct := flag.Float64("warn", 5, "warn above this median regression (percent)")
 	failPct := flag.Float64("fail", 15, "fail above this median regression (percent, same-CPU records only)")
+	allocFree := flag.String("allocfree", `^Benchmark(PipelineCycle|SimInterval|ThermalAdvance)\b`,
+		"benchmarks matching this regexp must report 0 B/op and 0 allocs/op")
 	flag.Parse()
+	allocRE, err := regexp.Compile(*allocFree)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: bad -allocfree:", err)
+		os.Exit(2)
+	}
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -new is required")
 		os.Exit(2)
@@ -89,8 +100,12 @@ func main() {
 
 	failed := false
 
-	// Allocation gate: unconditional, machine-independent.
+	// Allocation gate: machine-independent, scoped to the benchmarks
+	// whose contract is zero heap traffic per op.
 	for name, ss := range cur.Samples {
+		if !allocRE.MatchString(name) {
+			continue
+		}
 		for _, s := range ss {
 			if s.AllocsPerOp != 0 || s.BytesPerOp != 0 {
 				fmt.Printf("FAIL %s: %d B/op, %d allocs/op — the hot loop must stay allocation-free\n",
