@@ -19,6 +19,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/floorplan"
 	"repro/internal/issueq"
+	"repro/internal/multicore"
 	"repro/internal/pipeline"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -448,6 +449,39 @@ func BenchmarkThermalSteadyState(b *testing.B) {
 		b.Run(tp.name+"/solver=dense", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				th.SteadyStateDense(pow)
+			}
+		})
+	}
+}
+
+// BenchmarkMulticoreInterval measures one lockstep multi-core interval —
+// every core's 10k pipeline cycles, the shared-die thermal solve, and
+// the scheduler/DTM bookkeeping — at 1/2/4/8 cores on the tiled plan.
+// Cores advance serially (Parallelism=1) so the per-op cost scales
+// ~linearly with the core count and is comparable across machines; the
+// horizon and queue are oversized so every measured step has all cores
+// busy rather than draining.
+func BenchmarkMulticoreInterval(b *testing.B) {
+	for _, cores := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
+			p := multicore.Params{
+				Cores:       cores,
+				Scheduler:   config.SchedRoundRobin,
+				Cycles:      1 << 40,
+				Tasks:       8192,
+				ArrivalGap:  1, // saturated queue: cores never idle
+				Parallelism: 1,
+			}
+			s, err := multicore.NewSystem(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Step(); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -3,8 +3,9 @@
 // Usage:
 //
 //	experiments [-cycles N] [-benchmarks a,b,c] [-parallel N]
-//	            [-cache-dir DIR] [-detail] [-cpuprofile FILE] [-memprofile FILE]
-//	            [table1|table2|table3|table4|table5|table6|fig6|fig7|fig8|all]...
+//	            [-cache-dir DIR] [-detail] [-cores N] [-scheduler a,b]
+//	            [-cpuprofile FILE] [-memprofile FILE]
+//	            [table1|table2|table3|table4|table5|table6|fig6|fig7|fig8|all|multicore]...
 //
 // Each matrix's benchmark × technique cells are independent runs; they
 // are fanned out over -parallel workers (0 = one per CPU, 1 = serial).
@@ -17,9 +18,11 @@
 // sharing the directory) are served from the cache instead of being
 // re-simulated, marked "(cached)" in the progress output.
 //
-// Two extension experiments beyond the paper's evaluation run when named
-// explicitly: "temporal" (stop-go vs DVFS fallbacks) and "combined" (all
-// three spatial techniques at once, on each floorplan).
+// Three extension experiments beyond the paper's evaluation run when
+// named explicitly: "temporal" (stop-go vs DVFS fallbacks), "combined"
+// (all three spatial techniques at once, on each floorplan), and
+// "multicore" (task-to-core scheduling policies on a shared tiled die;
+// see -cores and -scheduler).
 //
 // Each experiment runs its benchmark × technique matrix on the floorplan
 // variant the paper uses and prints the corresponding table or figure
@@ -40,6 +43,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/multicore"
 	"repro/internal/power"
 	"repro/internal/regfile"
 	"repro/internal/service"
@@ -49,7 +53,7 @@ import (
 // runOrder is the canonical output order; the paper interleaves tables
 // and figures this way. The "all" alias covers everything up to fig8;
 // the two extensions run only when named explicitly.
-var runOrder = []string{"table1", "table2", "table3", "table4", "fig6", "table5", "fig7", "table6", "fig8", "temporal", "combined"}
+var runOrder = []string{"table1", "table2", "table3", "table4", "fig6", "table5", "fig7", "table6", "fig8", "temporal", "combined", "multicore"}
 
 func main() {
 	ctx, _ := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -73,6 +77,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			"run through the job engine with a persistent result cache in DIR; previously computed cells are not re-simulated")
 		detail = fs.Bool("detail", false,
 			"append per-cell utilization telemetry (issue-queue half occupancy, ALU grant shares, RF read shares) after each matrix")
+		cores = fs.Int("cores", 4,
+			"core count for the multicore experiment (tiled onto a shared die)")
+		schedList = fs.String("scheduler", "",
+			"comma-separated scheduler subset for the multicore experiment: roundrobin, random, coolest-first, threshold-migrate (default: all four)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to FILE")
 		memprofile = fs.String("memprofile", "", "write a heap profile to FILE on exit")
 	)
@@ -139,6 +147,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "experiments: %v\n", err)
 				return 2
 			}
+		}
+	}
+	var scheds []config.Scheduler
+	if *schedList != "" {
+		for _, name := range strings.Split(*schedList, ",") {
+			var sch config.Scheduler
+			if err := sch.UnmarshalText([]byte(strings.TrimSpace(name))); err != nil {
+				fmt.Fprintf(stderr, "experiments: %v\n", err)
+				return 2
+			}
+			scheds = append(scheds, sch)
+		}
+	}
+	if ids["multicore"] {
+		if err := (multicore.Params{Cores: *cores}).Normalized().Validate(); err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return 2
 		}
 	}
 
@@ -219,6 +244,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				if err = runAndPrint(experiments.Combined(*cycles, plan, benches...), (*experiments.Matrix).FigureReport); err != nil {
 					break
 				}
+			}
+		case "multicore":
+			spec := experiments.Multicore(*cycles, *cores, scheds...)
+			spec.Parallelism = *parallel
+			var mm *experiments.MulticoreMatrix
+			if mm, err = experiments.RunMulticore(ctx, spec, progress); err == nil {
+				fmt.Fprintln(stdout, mm.Report())
 			}
 		}
 		if err != nil {

@@ -24,6 +24,8 @@ func TestRunRejectsUnknownNames(t *testing.T) {
 		{"experiment", []string{"fig9"}, `unknown experiment "fig9"`},
 		{"experiment among valid", []string{"table1", "firg6"}, `unknown experiment "firg6"`},
 		{"benchmark", []string{"-benchmarks", "eon,doom3", "fig6"}, "doom3"},
+		{"scheduler", []string{"-scheduler", "coolest", "multicore"}, `unknown scheduler "coolest"`},
+		{"cores", []string{"-cores", "999", "multicore"}, "cores 999 out of range"},
 	}
 	for _, c := range cases {
 		code, out, errOut := runCLI(c.args...)
@@ -51,6 +53,24 @@ func TestRunStaticTables(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
 		}
+	}
+}
+
+// TestRunMulticore drives the multicore experiment end to end through
+// the CLI at a short horizon with a scheduler subset.
+func TestRunMulticore(t *testing.T) {
+	code, out, errOut := runCLI("-quiet", "-cycles", "1200000", "-cores", "4",
+		"-scheduler", "roundrobin,coolest-first", "multicore")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"Multi-core scheduling", "roundrobin", "coolest-first", "cooler"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "threshold-migrate") {
+		t.Error("scheduler subset was ignored")
 	}
 }
 

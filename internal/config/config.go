@@ -173,6 +173,47 @@ func (s ThermalSolver) String() string {
 	return fmt.Sprintf("ThermalSolver(%d)", uint8(s))
 }
 
+// Scheduler selects the multicore task-to-core scheduling policy
+// (internal/multicore). The single-core paper pipeline never consults it.
+type Scheduler uint8
+
+const (
+	// SchedRoundRobin assigns tasks to idle cores in rotating index order,
+	// blind to temperature. This is the default and the paper-agnostic
+	// baseline the thermal-aware policies are compared against.
+	SchedRoundRobin Scheduler = iota
+	// SchedRandom assigns tasks to a uniformly random idle core, drawn
+	// from the scheduler's own deterministic rng stream.
+	SchedRandom
+	// SchedCoolestFirst assigns the next task to the idle core whose
+	// hottest block is coldest (Hung et al.'s thermal-aware allocation).
+	SchedCoolestFirst
+	// SchedThresholdMigrate is coolest-first assignment plus migration: a
+	// task moves off a core whose peak block temperature enters the band
+	// below the critical threshold, onto a sufficiently cooler idle core
+	// (Chrobak et al.'s cooling-aware shape).
+	SchedThresholdMigrate
+)
+
+func (s Scheduler) String() string {
+	switch s {
+	case SchedRoundRobin:
+		return "roundrobin"
+	case SchedRandom:
+		return "random"
+	case SchedCoolestFirst:
+		return "coolest-first"
+	case SchedThresholdMigrate:
+		return "threshold-migrate"
+	}
+	return fmt.Sprintf("Scheduler(%d)", uint8(s))
+}
+
+// Schedulers lists every scheduling policy in definition order.
+func Schedulers() []Scheduler {
+	return []Scheduler{SchedRoundRobin, SchedRandom, SchedCoolestFirst, SchedThresholdMigrate}
+}
+
 // FloorplanVariant selects which back-end resource the floorplan makes the
 // thermal bottleneck (Figure 5 of the paper).
 type FloorplanVariant uint8

@@ -101,6 +101,19 @@ func (s *ThermalSolver) UnmarshalText(b []byte) error {
 	return nil
 }
 
+func (s Scheduler) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+func (s *Scheduler) UnmarshalText(b []byte) error {
+	v, err := parseEnum("scheduler", string(b),
+		[]string{"roundrobin", "random", "coolest-first", "threshold-migrate"},
+		[]Scheduler{SchedRoundRobin, SchedRandom, SchedCoolestFirst, SchedThresholdMigrate})
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
 func (v FloorplanVariant) MarshalText() ([]byte, error) { return []byte(v.String()), nil }
 
 func (v *FloorplanVariant) UnmarshalText(b []byte) error {

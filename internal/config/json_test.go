@@ -98,6 +98,7 @@ func TestEnumUnmarshalErrors(t *testing.T) {
 		{new(TemporalPolicy), "stopgo"},
 		{new(FloorplanVariant), "iq"},
 		{new(ThermalSolver), "csr"},
+		{new(Scheduler), "coolest"},
 	}
 	for _, c := range cases {
 		err := json.Unmarshal([]byte(`"`+c.text+`"`), c.dst)
@@ -161,6 +162,13 @@ func TestEnumRoundTripAll(t *testing.T) {
 		b, _ := v.MarshalText()
 		if err := got.UnmarshalText(b); err != nil || got != v {
 			t.Errorf("ThermalSolver %v: %v %v", v, got, err)
+		}
+	}
+	for _, v := range Schedulers() {
+		var got Scheduler
+		b, _ := v.MarshalText()
+		if err := got.UnmarshalText(b); err != nil || got != v {
+			t.Errorf("Scheduler %v: %v %v", v, got, err)
 		}
 	}
 }

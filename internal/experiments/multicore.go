@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/multicore"
+	"repro/internal/runner"
+)
+
+// MulticoreSpec describes the multi-core scheduling experiment: the same
+// task queue drained by each scheduling policy on the same tiled die, so
+// the policies are compared on identical work. This extends the paper's
+// single-core evaluation by one layer: where the paper balances
+// utilization within a pipeline, this balances tasks across a shared
+// thermal field (Hung et al.'s coolest-first, Chrobak et al.'s
+// band-triggered migration, against temperature-blind baselines).
+type MulticoreSpec struct {
+	Cores  int
+	Cycles int64
+	Warmup int
+	Seed   uint64
+	// Schedulers lists the policies to compare; empty = all four.
+	Schedulers []config.Scheduler
+	// Parallelism fans each run's cores out, exactly like Spec's field;
+	// results are bit-identical at every setting.
+	Parallelism int
+}
+
+// MulticoreCell is one scheduler's completed run.
+type MulticoreCell struct {
+	Scheduler config.Scheduler
+	R         *multicore.Result
+}
+
+// MulticoreMatrix holds the scheduler comparison.
+type MulticoreMatrix struct {
+	Spec  MulticoreSpec
+	Cells []MulticoreCell
+}
+
+// Multicore returns the multi-core scheduling experiment spec.
+func Multicore(cycles int64, cores int, schedulers ...config.Scheduler) MulticoreSpec {
+	return MulticoreSpec{Cores: cores, Cycles: cycles, Schedulers: schedulers}
+}
+
+// params maps the spec onto one scheduler's run parameters. Everything
+// except the scheduler is shared, so every policy sees the same die, the
+// same task queue, and the same per-core rng streams.
+func (s MulticoreSpec) params(sch config.Scheduler) multicore.Params {
+	return multicore.Params{
+		Cores:       s.Cores,
+		Scheduler:   sch,
+		Cycles:      s.Cycles,
+		Warmup:      s.Warmup,
+		Seed:        s.Seed,
+		Parallelism: s.Parallelism,
+	}
+}
+
+// RunMulticore drains the same task queue under each scheduler in spec,
+// reporting per-run progress to w (may be nil). Runs execute serially in
+// spec order — each one already fans its cores out over
+// spec.Parallelism workers — and the matrix is bit-identical at every
+// worker count.
+func RunMulticore(ctx context.Context, spec MulticoreSpec, w io.Writer) (*MulticoreMatrix, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if spec.Cycles <= 0 {
+		spec.Cycles = DefaultCycles
+	}
+	scheds := spec.Schedulers
+	if len(scheds) == 0 {
+		scheds = config.Schedulers()
+	}
+	m := &MulticoreMatrix{Spec: spec}
+	prog := runner.NewProgress(w, len(scheds))
+	for _, sch := range scheds {
+		r, err := multicore.Run(ctx, spec.params(sch))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: multicore/%v: %w", sch, err)
+		}
+		m.Cells = append(m.Cells, MulticoreCell{Scheduler: sch, R: r})
+		prog.Step("multicore %-18s peak=%.2fK stalls=%d IPC=%.3f",
+			sch, r.PeakTempK, r.CoolingStalls, r.AggIPC)
+	}
+	return m, nil
+}
+
+// Get returns the named scheduler's result, or nil.
+func (m *MulticoreMatrix) Get(sch config.Scheduler) *multicore.Result {
+	for _, c := range m.Cells {
+		if c.Scheduler == sch {
+			return c.R
+		}
+	}
+	return nil
+}
+
+// Report renders the scheduler comparison: one row per policy over
+// identical work, then the headline peak-temperature gap between the
+// thermal-aware assignment policy and the blind rotation it replaces.
+func (m *MulticoreMatrix) Report() string {
+	var b strings.Builder
+	if len(m.Cells) == 0 {
+		return "multicore: no runs\n"
+	}
+	first := m.Cells[0].R
+	fmt.Fprintf(&b, "Multi-core scheduling on a shared %dx%d die (%d cores, %d tasks, DTM budget %.1f K)\n",
+		first.Rows, first.Cols, first.Cores, first.TasksTotal, m.Spec.params(0).Normalized().MaxTempK)
+	b.WriteString("  scheduler           peakK    avgK  stalls  stallMcyc  migr  makespanMcyc  aggIPC  done\n")
+	for _, c := range m.Cells {
+		r := c.R
+		done := fmt.Sprintf("%d/%d", r.TasksCompleted, r.TasksTotal)
+		fmt.Fprintf(&b, "  %-18s %7.2f %7.2f  %6d  %9.2f  %4d  %12.2f  %6.3f  %s\n",
+			r.Scheduler, r.PeakTempK, r.AvgTempK, r.CoolingStalls,
+			float64(r.StallCycles)/1e6, r.Migrations, float64(r.Cycles)/1e6, r.AggIPC, done)
+	}
+	if rr, cf := m.Get(config.SchedRoundRobin), m.Get(config.SchedCoolestFirst); rr != nil && cf != nil {
+		fmt.Fprintf(&b, "  coolest-first peak %.2f K vs round-robin %.2f K: %.2f K cooler\n",
+			cf.PeakTempK, rr.PeakTempK, rr.PeakTempK-cf.PeakTempK)
+	}
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package floorplan
+
+import "fmt"
+
+// TileName returns the name block `name` carries on core `core` of a tiled
+// plan: "C<core>_<name>". Per-core prefixes keep block names unique on the
+// shared die while the underlying single-core plans keep their bare names.
+func TileName(core int, name string) string {
+	return fmt.Sprintf("C%d_%s", core, name)
+}
+
+// Tile replicates plan onto a rows×cols grid, producing one shared die
+// whose blocks are laterally coupled across core boundaries: each core's
+// outer edge abuts its grid neighbour exactly, so computeAdjacency links
+// blocks across tiles the same way it links blocks within one.
+//
+// Block order is core-major with cores numbered row-major on the grid
+// (core = r*cols + c): core k's blocks occupy indices
+// [k*plan.NumBlocks(), (k+1)*plan.NumBlocks()) in the same order as the
+// source plan. The thermal model preserves block order, so a power or
+// temperature vector for the tiled plan is the per-core vectors
+// concatenated — the multicore layer scatters and gathers by slicing.
+func Tile(plan *Plan, rows, cols int) *Plan {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("floorplan: Tile with non-positive grid %dx%d", rows, cols))
+	}
+	pitchX := DieWidth
+	pitchY := plan.dieHeight()
+	nb := plan.NumBlocks()
+	p := &Plan{
+		Variant: plan.Variant,
+		Blocks:  make([]Block, 0, rows*cols*nb),
+		byName:  make(map[string]int, rows*cols*nb),
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			core := r*cols + c
+			for _, b := range plan.Blocks {
+				b.Name = TileName(core, b.Name)
+				b.X += float64(c) * pitchX
+				b.Y += float64(r) * pitchY
+				p.byName[b.Name] = len(p.Blocks)
+				p.Blocks = append(p.Blocks, b)
+			}
+		}
+	}
+	p.computeAdjacency()
+	return p
+}

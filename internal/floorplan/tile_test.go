@@ -1,0 +1,131 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/config"
+)
+
+func TestTileGeometry(t *testing.T) {
+	base := Build(config.PlanIQConstrained)
+	for _, dims := range [][2]int{{1, 1}, {1, 2}, {2, 2}, {1, 4}, {2, 4}, {3, 3}} {
+		rows, cols := dims[0], dims[1]
+		p := Tile(base, rows, cols)
+		if p.NumBlocks() != rows*cols*base.NumBlocks() {
+			t.Fatalf("Tile(%d,%d): %d blocks, want %d", rows, cols, p.NumBlocks(), rows*cols*base.NumBlocks())
+		}
+		geometryInvariants(t, p)
+	}
+}
+
+// TestTileCoreMajorOrder pins the block-index contract the multicore layer
+// slices by: core k's blocks occupy [k*nb, (k+1)*nb) in source-plan order
+// under the per-core name prefix.
+func TestTileCoreMajorOrder(t *testing.T) {
+	base := Build(config.PlanALUConstrained)
+	nb := base.NumBlocks()
+	rows, cols := 2, 3
+	p := Tile(base, rows, cols)
+	for core := 0; core < rows*cols; core++ {
+		for i, b := range base.Blocks {
+			want := TileName(core, b.Name)
+			got := p.Blocks[core*nb+i]
+			if got.Name != want {
+				t.Fatalf("core %d block %d: name %q, want %q", core, i, got.Name, want)
+			}
+			if p.Index(want) != core*nb+i {
+				t.Fatalf("core %d block %d: index %d, want %d", core, i, p.Index(want), core*nb+i)
+			}
+			if got.W != b.W || got.H != b.H {
+				t.Fatalf("core %d block %q: size changed", core, b.Name)
+			}
+		}
+	}
+}
+
+// TestTileCrossCoreAdjacency: each core reproduces the base plan's internal
+// adjacency exactly, and abutting tiles are laterally coupled — the whole
+// point of the shared die.
+func TestTileCrossCoreAdjacency(t *testing.T) {
+	base := Build(config.PlanIQConstrained)
+	nb := base.NumBlocks()
+	p := Tile(base, 2, 2)
+	internal := make(map[int]int) // core -> internal pair count
+	cross := 0
+	for _, a := range p.Adj {
+		ca, cb := a.A/nb, a.B/nb
+		if ca == cb {
+			internal[ca]++
+		} else {
+			cross++
+		}
+	}
+	for core := 0; core < 4; core++ {
+		if internal[core] != len(base.Adj) {
+			t.Fatalf("core %d has %d internal adjacency pairs, base plan has %d",
+				core, internal[core], len(base.Adj))
+		}
+	}
+	if cross == 0 {
+		t.Fatal("no cross-core adjacency: tiles are thermally decoupled")
+	}
+	baseSet := adjacencySet(base)
+	for _, a := range p.Adj {
+		if a.A/nb != a.B/nb {
+			continue
+		}
+		core := a.A / nb
+		want, ok := baseSet[[2]int{a.A - core*nb, a.B - core*nb}]
+		if !ok {
+			t.Fatalf("core %d pair (%d,%d) absent from base plan", core, a.A-core*nb, a.B-core*nb)
+		}
+		if math.Abs(a.Shared-want.Shared) > 1e-12 || math.Abs(a.Dist-want.Dist) > 1e-12 {
+			t.Fatalf("core %d pair (%d,%d): tiled %+v vs base %+v", core, a.A, a.B, a, want)
+		}
+	}
+}
+
+func TestTilePanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Tile(0, 2) did not panic")
+		}
+	}()
+	Tile(Build(config.PlanIQConstrained), 0, 2)
+}
+
+// TestDegenerateSingleBlockPlans: n=1 / rows=1 shapes must build valid
+// plans — one block, empty (but non-degenerate) adjacency, resolvable
+// names — so the thermal model can be built on them (see the matching
+// construction tests in internal/thermal).
+func TestDegenerateSingleBlockPlans(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		plan *Plan
+	}{
+		{"Mesh(1,1)", Mesh(1, 1)},
+		{"Random(1)", Random(1, 42)},
+		{"Tile(base,1,1) single core", Tile(Build(config.PlanIQConstrained), 1, 1)},
+	} {
+		p := tc.plan
+		geometryInvariants(t, p)
+		if tc.name != "Tile(base,1,1) single core" {
+			if p.NumBlocks() != 1 {
+				t.Fatalf("%s: %d blocks", tc.name, p.NumBlocks())
+			}
+			if len(p.Adj) != 0 {
+				t.Fatalf("%s: single block has %d adjacency records", tc.name, len(p.Adj))
+			}
+			if p.Neighbors(0) != nil {
+				t.Fatalf("%s: single block has neighbors", tc.name)
+			}
+		}
+	}
+	// rows=1: a single-row mesh is a chain.
+	row := Mesh(1, 5)
+	geometryInvariants(t, row)
+	if len(row.Adj) != 4 {
+		t.Fatalf("Mesh(1,5): %d adjacency records, want 4", len(row.Adj))
+	}
+}

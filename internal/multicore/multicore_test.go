@@ -1,0 +1,278 @@
+package multicore
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// testParams is a short but non-trivial workload: enough tasks for every
+// scheduler to make real choices, short enough for the race detector.
+func testParams(parallelism int) Params {
+	return Params{
+		Cores:       4,
+		Cycles:      1_200_000,
+		Warmup:      20_000,
+		Tasks:       12,
+		TaskCycles:  60_000,
+		Seed:        7,
+		Parallelism: parallelism,
+	}
+}
+
+// TestMulticoreParallelDeterminism is the determinism contract of the
+// lockstep core fan-out, mirroring the experiment matrix's
+// TestParallelDeterminism: a Parallelism=8 run must be bit-identical to
+// the serial run in every field of the result — per-core power lands in
+// disjoint slices and every reduction is serial in core order, so worker
+// count must not leak into the physics.
+func TestMulticoreParallelDeterminism(t *testing.T) {
+	for _, sch := range config.Schedulers() {
+		p1, p8 := testParams(1), testParams(8)
+		p1.Scheduler, p8.Scheduler = sch, sch
+		serial, err := Run(context.Background(), p1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Run(context.Background(), p8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, errA := json.Marshal(serial)
+		b, errB := json.Marshal(par)
+		if errA != nil || errB != nil {
+			t.Fatal(errA, errB)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%v: parallel run diverged from serial\nserial: %s\npar:    %s", sch, a, b)
+		}
+	}
+}
+
+// TestMulticoreSeedChangesRun: the per-core rng streams derive from
+// (seed, coreID), so a different seed must produce a different run.
+func TestMulticoreSeedChangesRun(t *testing.T) {
+	p := testParams(0)
+	r1, err := Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Seed = 8
+	r2, err := Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalCommitted == r2.TotalCommitted && r1.PeakTempK == r2.PeakTempK {
+		t.Fatal("changing the seed changed neither committed work nor peak temperature")
+	}
+}
+
+// TestMulticoreRunInvariants checks the accounting identities of a full
+// run and that the result round-trips through JSON.
+func TestMulticoreRunInvariants(t *testing.T) {
+	r, err := Run(context.Background(), testParams(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cores != 4 || len(r.PerCore) != 4 {
+		t.Fatalf("expected 4 cores, got %d (%d per-core rows)", r.Cores, len(r.PerCore))
+	}
+	if r.TasksCompleted != r.TasksTotal || r.HorizonHit {
+		t.Fatalf("short queue should drain: %d/%d done, horizon %v",
+			r.TasksCompleted, r.TasksTotal, r.HorizonHit)
+	}
+	if r.Cycles <= 0 || r.Cycles > testParams(0).Cycles {
+		t.Fatalf("makespan %d out of range", r.Cycles)
+	}
+	if r.AggIPC <= 0 {
+		t.Fatal("no aggregate throughput")
+	}
+	tasks := 0
+	for _, c := range r.PerCore {
+		if c.ActiveCycles+c.StallCycles+c.IdleCycles != r.Cycles {
+			t.Fatalf("core %d: active %d + stall %d + idle %d != makespan %d",
+				c.Core, c.ActiveCycles, c.StallCycles, c.IdleCycles, r.Cycles)
+		}
+		if c.Utilization < 0 || c.Utilization > 1 {
+			t.Fatalf("core %d: utilization %v outside [0, 1]", c.Core, c.Utilization)
+		}
+		if c.AvgTempK <= 0 || c.PeakTempK < c.AvgTempK-50 || c.HottestBlock == "" {
+			t.Fatalf("core %d: implausible temperatures %v/%v (%q)",
+				c.Core, c.AvgTempK, c.PeakTempK, c.HottestBlock)
+		}
+		tasks += c.TasksRun
+	}
+	// Migration restarts count a task on both cores; without migration the
+	// counts match the queue exactly.
+	if tasks < r.TasksTotal {
+		t.Fatalf("%d per-core task runs for %d queued tasks", tasks, r.TasksTotal)
+	}
+
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.PeakTempK != r.PeakTempK || back.TotalCommitted != r.TotalCommitted ||
+		len(back.PerCore) != len(r.PerCore) {
+		t.Fatal("result did not round-trip through JSON")
+	}
+	if r.Report() == "" {
+		t.Fatal("empty report")
+	}
+}
+
+// TestGridShapes: near-square tilings, strips for primes.
+func TestGridShapes(t *testing.T) {
+	cases := []struct{ n, rows, cols int }{
+		{1, 1, 1}, {2, 1, 2}, {3, 1, 3}, {4, 2, 2}, {6, 2, 3},
+		{7, 1, 7}, {8, 2, 4}, {9, 3, 3}, {12, 3, 4}, {16, 4, 4},
+	}
+	for _, c := range cases {
+		rows, cols := Grid(c.n)
+		if rows != c.rows || cols != c.cols {
+			t.Errorf("Grid(%d) = %dx%d, want %dx%d", c.n, rows, cols, c.rows, c.cols)
+		}
+	}
+}
+
+// TestParamsValidate: the representative rejection paths.
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{Cores: 257},
+		{Cores: 4, Cycles: 4_000_000, Scheduler: config.Scheduler(9)},
+		{Cores: 4, Benchmarks: []string{"nonesuch"}},
+		{Cores: 4, MaxTempK: 1},
+	}
+	for i, p := range bad {
+		if err := p.Normalized().Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+	if err := (Params{}).Normalized().Validate(); err != nil {
+		t.Errorf("defaults failed validation: %v", err)
+	}
+}
+
+// schedSystem builds a system without running it, then hand-sets the
+// observed tile temperatures so the policy choices are test-controlled.
+func schedSystem(t *testing.T, sch config.Scheduler, peaks []float64) *System {
+	t.Helper()
+	p := testParams(0)
+	p.Scheduler = sch
+	p.Cores = len(peaks)
+	s, err := NewSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range s.cores {
+		c.lastPeak = peaks[i]
+	}
+	return s
+}
+
+// TestRoundRobinRotation: round-robin cycles through the idle cores in
+// order, independent of temperature.
+func TestRoundRobinRotation(t *testing.T) {
+	s := schedSystem(t, config.SchedRoundRobin, []float64{390, 320, 320, 320})
+	rr, _ := NewScheduler(config.SchedRoundRobin, 1)
+	idle := []int{0, 1, 2, 3}
+	want := []int{0, 1, 2, 3, 0, 1}
+	for i, w := range want {
+		if got := rr.Pick(s, idle); got != w {
+			t.Fatalf("pick %d: got core %d, want %d", i, got, w)
+		}
+	}
+	// With the wanted core busy, rotation takes the next idle one.
+	if got := rr.Pick(s, []int{0, 3}); got != 3 {
+		t.Fatalf("partial idle: got %d, want 3", got)
+	}
+}
+
+// TestCoolestFirstPick: argmin of the observed tile peaks, ties to the
+// lower id.
+func TestCoolestFirstPick(t *testing.T) {
+	s := schedSystem(t, config.SchedCoolestFirst, []float64{330, 325, 340, 325})
+	cf, _ := NewScheduler(config.SchedCoolestFirst, 1)
+	if got := cf.Pick(s, []int{0, 1, 2, 3}); got != 1 {
+		t.Fatalf("got core %d, want coolest core 1", got)
+	}
+	if got := cf.Pick(s, []int{0, 2, 3}); got != 3 {
+		t.Fatalf("got core %d, want 3", got)
+	}
+}
+
+// TestRandomPickDeterministic: the random policy draws from its own
+// seeded stream — same seed, same sequence; it must also stay in range.
+func TestRandomPickDeterministic(t *testing.T) {
+	s := schedSystem(t, config.SchedRandom, []float64{330, 330, 330, 330})
+	a, _ := NewScheduler(config.SchedRandom, 42)
+	b, _ := NewScheduler(config.SchedRandom, 42)
+	idle := []int{0, 1, 2, 3}
+	for i := 0; i < 32; i++ {
+		pa, pb := a.Pick(s, idle), b.Pick(s, idle)
+		if pa != pb {
+			t.Fatalf("pick %d: %d != %d for identical seeds", i, pa, pb)
+		}
+		if pa < 0 || pa > 3 {
+			t.Fatalf("pick %d out of range", pa)
+		}
+	}
+}
+
+// TestThresholdMigrateMoves: migration triggers only inside the band
+// below the budget, and only toward an idle core at least the margin
+// cooler; destinations are not reused within one rebalance.
+func TestThresholdMigrateMoves(t *testing.T) {
+	budget := DefaultMaxTempK
+	s := schedSystem(t, config.SchedThresholdMigrate,
+		[]float64{budget - 0.2, budget - 8, budget - 0.4, budget - 9})
+	// Cores 0 and 2 are busy inside the band; 1 and 3 idle and cool.
+	s.cores[0].task = &Task{}
+	s.cores[2].task = &Task{}
+	tm := s.sched.(Rebalancer)
+	moves := tm.Rebalance(s)
+	if len(moves) != 2 {
+		t.Fatalf("got %d moves, want 2: %+v", len(moves), moves)
+	}
+	// Both sources move, each to a distinct destination, coolest first.
+	if moves[0] != (Move{From: 0, To: 3}) || moves[1] != (Move{From: 2, To: 1}) {
+		t.Fatalf("unexpected move set %+v", moves)
+	}
+
+	// Below the band nothing moves.
+	s.cores[0].lastPeak = budget - MigrateBandK - 1
+	s.cores[2].lastPeak = budget - MigrateBandK - 1
+	if moves := tm.Rebalance(s); len(moves) != 0 {
+		t.Fatalf("cool cores migrated: %+v", moves)
+	}
+
+	// In the band but with no destination cooler by the margin: no move.
+	s.cores[0].lastPeak = budget - 0.2
+	s.cores[1].lastPeak = budget - 1
+	s.cores[3].lastPeak = budget - 1
+	if moves := tm.Rebalance(s); len(moves) != 0 {
+		t.Fatalf("migrated without thermal headroom: %+v", moves)
+	}
+}
+
+// TestSchedulerNames: the policy names round-trip the config enum.
+func TestSchedulerNames(t *testing.T) {
+	for _, kind := range config.Schedulers() {
+		sch, err := NewScheduler(kind, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sch.Name() != kind.String() {
+			t.Errorf("%v: name %q", kind, sch.Name())
+		}
+	}
+	if _, err := NewScheduler(config.Scheduler(9), 1); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package multicore
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/rng"
+)
+
+// Scheduler decides task placement on the shared die. Pick receives the
+// idle core ids in ascending order (never empty) and returns the one the
+// next queued task lands on. Implementations must be deterministic given
+// their construction seed: the system calls them in a fixed order, and
+// the P=1 vs P=8 determinism suite holds the whole run bit-identical.
+type Scheduler interface {
+	Name() string
+	Pick(sys *System, idle []int) int
+}
+
+// Rebalancer is implemented by policies that also migrate running tasks
+// between cores. Rebalance is called once per interval after sensing;
+// each Move carries a task from a busy core to an idle one (moves whose
+// source went idle or whose destination got taken are skipped).
+type Rebalancer interface {
+	Rebalance(sys *System) []Move
+}
+
+// Move is one task migration: From must be busy, To idle.
+type Move struct {
+	From, To int
+}
+
+// Threshold-migrate tuning (kelvin): a task leaves its core when the
+// core's peak block enters the band below the critical threshold, and
+// only for an idle core at least the margin cooler — far enough that the
+// move buys real thermal headroom, per Chrobak et al.'s cooling-aware
+// shape.
+const (
+	MigrateBandK   = 1.0
+	MigrateMarginK = 1.5
+)
+
+// NewScheduler builds the policy for the config enum value, seeding any
+// internal randomness from the run seed.
+func NewScheduler(kind config.Scheduler, seed uint64) (Scheduler, error) {
+	switch kind {
+	case config.SchedRoundRobin:
+		return &roundRobin{}, nil
+	case config.SchedRandom:
+		return &randomPick{src: rng.New(seedFor(seed, -3))}, nil
+	case config.SchedCoolestFirst:
+		return coolestFirst{}, nil
+	case config.SchedThresholdMigrate:
+		return &thresholdMigrate{}, nil
+	}
+	return nil, fmt.Errorf("multicore: unknown scheduler %v", kind)
+}
+
+// roundRobin rotates through core ids, blind to temperature.
+type roundRobin struct {
+	next int
+}
+
+func (*roundRobin) Name() string { return config.SchedRoundRobin.String() }
+
+func (r *roundRobin) Pick(sys *System, idle []int) int {
+	pick := idle[0]
+	for _, c := range idle {
+		if c >= r.next {
+			pick = c
+			break
+		}
+	}
+	r.next = (pick + 1) % sys.NumCores()
+	return pick
+}
+
+// randomPick selects a uniformly random idle core from its own
+// deterministic stream.
+type randomPick struct {
+	src *rng.Source
+}
+
+func (*randomPick) Name() string { return config.SchedRandom.String() }
+
+func (r *randomPick) Pick(_ *System, idle []int) int {
+	return idle[r.src.Intn(len(idle))]
+}
+
+// coolestFirst assigns the next task to the idle core whose hottest block
+// is coldest (Hung et al.), ties to the lower id.
+type coolestFirst struct{}
+
+func (coolestFirst) Name() string { return config.SchedCoolestFirst.String() }
+
+func (coolestFirst) Pick(sys *System, idle []int) int {
+	pick := idle[0]
+	for _, c := range idle[1:] {
+		if sys.CorePeak(c) < sys.CorePeak(pick) {
+			pick = c
+		}
+	}
+	return pick
+}
+
+// thresholdMigrate is coolest-first assignment plus band-triggered
+// migration: a task on a core whose peak has climbed into the band below
+// the critical threshold moves to the coolest idle core that is at least
+// MigrateMarginK cooler. Stalled tasks migrate too — resuming on a cool
+// core beats waiting out the stall on a hot one.
+type thresholdMigrate struct {
+	coolestFirst
+}
+
+func (*thresholdMigrate) Name() string { return config.SchedThresholdMigrate.String() }
+
+func (m *thresholdMigrate) Rebalance(sys *System) []Move {
+	var moves []Move
+	taken := make(map[int]bool)
+	for from := 0; from < sys.NumCores(); from++ {
+		if !sys.CoreBusy(from) || sys.CorePeak(from) < sys.MaxTempK()-MigrateBandK {
+			continue
+		}
+		to, toPeak := -1, 0.0
+		for c := 0; c < sys.NumCores(); c++ {
+			if sys.CoreBusy(c) || taken[c] {
+				continue
+			}
+			if p := sys.CorePeak(c); p <= sys.CorePeak(from)-MigrateMarginK && (to < 0 || p < toPeak) {
+				to, toPeak = c, p
+			}
+		}
+		if to >= 0 {
+			taken[to] = true
+			moves = append(moves, Move{From: from, To: to})
+		}
+	}
+	return moves
+}

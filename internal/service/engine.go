@@ -33,6 +33,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faultinject"
 	"repro/internal/journal"
+	"repro/internal/multicore"
 	"repro/internal/pipeline"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -192,6 +193,9 @@ type Metrics struct {
 	// their telemetry was accounted when they were first computed,
 	// possibly by an earlier process sharing the cache directory).
 	Utilization UtilizationMetrics `json:"utilization"`
+	// Multicore aggregates the multi-core scheduling runs this process
+	// computed, with the same cache-hit exclusion as Utilization.
+	Multicore MulticoreMetrics `json:"multicore"`
 }
 
 // RuntimeMetrics is the Go runtime section of /metrics.
@@ -214,6 +218,20 @@ type UtilizationMetrics struct {
 	FPQHalfOcc    [2]float64 `json:"fpq_half_occupancy"`
 	ALUGrantShare []float64  `json:"alu_grant_share"`
 	RFReadShare   []float64  `json:"rf_read_share"`
+}
+
+// MulticoreMetrics aggregates the multi-core scheduling runs this
+// engine computed. Per-core vectors are indexed by core id and sized to
+// the widest run seen: utilization and average temperature are means
+// over the runs that had that core, peak temperature is the running
+// maximum.
+type MulticoreMetrics struct {
+	Runs            uint64    `json:"runs"`
+	CoolingStalls   uint64    `json:"cooling_stalls"`
+	Migrations      uint64    `json:"migrations"`
+	CoreUtilization []float64 `json:"core_utilization,omitempty"`
+	CoreAvgTempK    []float64 `json:"core_avg_temp_k,omitempty"`
+	CorePeakTempK   []float64 `json:"core_peak_temp_k,omitempty"`
 }
 
 // Engine runs jobs. Create with NewEngine, stop with Shutdown.
@@ -259,6 +277,14 @@ type Engine struct {
 	utilMu  sync.Mutex
 	utilN   uint64
 	utilSum UtilizationMetrics
+
+	// Multicore accumulator over freshly computed scheduling runs.
+	// mcSum's per-core vectors hold sums (peaks hold maxima); mcCoreN[i]
+	// counts the runs wide enough to include core i, so the snapshot can
+	// average mixed core counts per slot.
+	mcMu    sync.Mutex
+	mcSum   MulticoreMetrics
+	mcCoreN []uint64
 
 	// runCell executes one cell and returns its canonical result JSON.
 	// Tests replace it with a controllable stub; production uses runCell.
@@ -559,9 +585,16 @@ func (e *Engine) finish(j *Job, data []byte, err error) {
 	} else {
 		e.completed.Add(1)
 		e.journalAppend(journal.Record{Op: journal.OpDone, Key: j.Key})
-		var r sim.Result
-		if json.Unmarshal(data, &r) == nil {
-			e.addUtilization(r.Utilization)
+		if j.Req.Multicore != nil {
+			var r multicore.Result
+			if json.Unmarshal(data, &r) == nil {
+				e.addMulticore(&r)
+			}
+		} else {
+			var r sim.Result
+			if json.Unmarshal(data, &r) == nil {
+				e.addUtilization(r.Utilization)
+			}
 		}
 	}
 	close(j.done)
@@ -581,6 +614,56 @@ func (e *Engine) addUtilization(u pipeline.Utilization) {
 	e.utilSum.RFReadShare = addVec(e.utilSum.RFReadShare, u.RFReadShare)
 }
 
+// addMulticore folds one freshly computed scheduling run's per-core
+// telemetry into the engine-wide accumulator behind /metrics.
+func (e *Engine) addMulticore(r *multicore.Result) {
+	e.mcMu.Lock()
+	defer e.mcMu.Unlock()
+	e.mcSum.Runs++
+	e.mcSum.CoolingStalls += r.CoolingStalls
+	e.mcSum.Migrations += uint64(r.Migrations)
+	for len(e.mcCoreN) < len(r.PerCore) {
+		e.mcCoreN = append(e.mcCoreN, 0)
+		e.mcSum.CoreUtilization = append(e.mcSum.CoreUtilization, 0)
+		e.mcSum.CoreAvgTempK = append(e.mcSum.CoreAvgTempK, 0)
+		e.mcSum.CorePeakTempK = append(e.mcSum.CorePeakTempK, 0)
+	}
+	for i, c := range r.PerCore {
+		e.mcCoreN[i]++
+		e.mcSum.CoreUtilization[i] += c.Utilization
+		e.mcSum.CoreAvgTempK[i] += c.AvgTempK
+		if c.PeakTempK > e.mcSum.CorePeakTempK[i] {
+			e.mcSum.CorePeakTempK[i] = c.PeakTempK
+		}
+	}
+}
+
+// multicoreSnapshot averages the accumulated per-run telemetry.
+func (e *Engine) multicoreSnapshot() MulticoreMetrics {
+	e.mcMu.Lock()
+	defer e.mcMu.Unlock()
+	out := MulticoreMetrics{
+		Runs:          e.mcSum.Runs,
+		CoolingStalls: e.mcSum.CoolingStalls,
+		Migrations:    e.mcSum.Migrations,
+	}
+	if len(e.mcCoreN) == 0 {
+		return out
+	}
+	out.CoreUtilization = make([]float64, len(e.mcCoreN))
+	out.CoreAvgTempK = make([]float64, len(e.mcCoreN))
+	out.CorePeakTempK = make([]float64, len(e.mcCoreN))
+	for i, n := range e.mcCoreN {
+		if n == 0 {
+			continue
+		}
+		out.CoreUtilization[i] = e.mcSum.CoreUtilization[i] / float64(n)
+		out.CoreAvgTempK[i] = e.mcSum.CoreAvgTempK[i] / float64(n)
+		out.CorePeakTempK[i] = e.mcSum.CorePeakTempK[i]
+	}
+	return out
+}
+
 // addVec accumulates b into a element-wise, growing a as needed.
 func addVec(a, b []float64) []float64 {
 	for len(a) < len(b) {
@@ -593,9 +676,18 @@ func addVec(a, b []float64) []float64 {
 }
 
 // runCell executes one simulation cell on config.Default() with the
-// request's plan/techniques and returns the canonical result JSON.
+// request's plan/techniques — or one multi-core scheduling run when the
+// request carries the multicore shape — and returns the canonical
+// result JSON.
 func runCell(ctx context.Context, req Request) ([]byte, error) {
 	req = req.Normalize()
+	if req.Multicore != nil {
+		r, err := multicore.Run(ctx, *req.Multicore)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(r)
+	}
 	cfg := config.Default()
 	cfg.Plan = req.Plan
 	cfg.Techniques = req.Techniques
@@ -965,6 +1057,7 @@ func (e *Engine) Metrics() Metrics {
 			GCPauseTotalMS:  float64(ms.PauseTotalNs) / 1e6,
 		},
 		Utilization: e.utilizationSnapshot(),
+		Multicore:   e.multicoreSnapshot(),
 	}
 }
 

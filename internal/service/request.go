@@ -18,9 +18,11 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"fmt"
 
 	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/multicore"
 	"repro/internal/trace"
 )
 
@@ -28,17 +30,29 @@ import (
 // floorplan run. The zero Techniques value is the conventional baseline.
 // Cycles <= 0 selects experiments.DefaultCycles; Warmup <= 0 selects the
 // simulator's default architectural warmup.
+//
+// A non-nil Multicore field selects the multi-core scheduling job kind
+// instead: the cell fields stay zero and the run is one
+// multicore.Run(*Multicore). The field is omitted from the canonical
+// form when nil, so every pre-existing cell request keeps its exact
+// canonical bytes — and therefore its cache key.
 type Request struct {
 	Benchmark  string                  `json:"benchmark"`
 	Plan       config.FloorplanVariant `json:"plan"`
 	Techniques config.Techniques       `json:"techniques"`
 	Cycles     int64                   `json:"cycles"`
 	Warmup     int                     `json:"warmup"`
+	Multicore  *multicore.Params       `json:"multicore,omitempty"`
 }
 
 // Normalize returns the request with defaults applied — the form that
 // is hashed, so explicit defaults and omitted fields share a key.
 func (r Request) Normalize() Request {
+	if r.Multicore != nil {
+		p := r.Multicore.Normalized()
+		r.Multicore = &p
+		return r
+	}
 	if r.Cycles <= 0 {
 		r.Cycles = experiments.DefaultCycles
 	}
@@ -51,6 +65,12 @@ func (r Request) Normalize() Request {
 // Validate reports whether the request can run at all. Invalid requests
 // fail at submission (HTTP 400), not as failed jobs.
 func (r Request) Validate() error {
+	if r.Multicore != nil {
+		if r.Benchmark != "" {
+			return fmt.Errorf("service: request mixes the cell and multicore shapes")
+		}
+		return r.Multicore.Normalized().Validate()
+	}
 	if _, err := trace.ByName(r.Benchmark); err != nil {
 		return err
 	}

@@ -15,9 +15,11 @@
 //
 // Submission bodies: a cell is {"benchmark","plan","techniques",
 // "cycles","warmup"}; a batch is {"experiment","benchmarks","cycles",
-// "warmup"} (the "experiment" field selects the shape). ?wait=1 blocks
-// until the job settles. A full queue answers 429, invalid requests
-// 400, unknown keys 404.
+// "warmup"} (the "experiment" field selects the shape); a multi-core
+// scheduling run is {"multicore":{...multicore.Params...}} and follows
+// the cell path (single job, cached by canonical request). ?wait=1
+// blocks until the job settles. A full queue answers 429, invalid
+// requests 400, unknown keys 404.
 package service
 
 import (
@@ -28,6 +30,7 @@ import (
 	"net/http/pprof"
 	"strings"
 
+	"repro/internal/multicore"
 	"repro/internal/sim"
 )
 
@@ -165,12 +168,21 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusConflict, fmt.Errorf("job %q is %s", id, st.State))
 			return
 		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if st.Req.Multicore != nil {
+			var res multicore.Result
+			if err := json.Unmarshal(st.Result, &res); err != nil {
+				httpError(w, http.StatusInternalServerError, err)
+				return
+			}
+			fmt.Fprint(w, res.Report())
+			return
+		}
 		var res sim.Result
 		if err := json.Unmarshal(st.Result, &res); err != nil {
 			httpError(w, http.StatusInternalServerError, err)
 			return
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, CellReport(&res))
 		return
 	}

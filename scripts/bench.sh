@@ -8,7 +8,9 @@
 # Runs the gated microbenchmarks (default: the cycle hot loop —
 # BenchmarkPipelineCycle and BenchmarkSimInterval — plus the thermal
 # axis, BenchmarkThermalAdvance and BenchmarkThermalSteadyState at
-# N=30/300/3000) with -benchmem -count=5 and writes BENCH_pipeline.json:
+# N=30/300/3000, and the multi-core lockstep interval,
+# BenchmarkMulticoreInterval at 1/2/4/8 cores) with -benchmem -count=5
+# and writes BENCH_pipeline.json:
 # the raw `go test -bench` text (benchstat's input format) alongside
 # machine-readable per-run samples. Compare two checkouts with:
 #
@@ -23,7 +25,7 @@ cd "$(dirname "$0")/.."
 
 COUNT=5
 OUT=BENCH_pipeline.json
-PATTERN='BenchmarkPipelineCycle|BenchmarkSimInterval|BenchmarkThermalAdvance|BenchmarkThermalSteadyState'
+PATTERN='BenchmarkPipelineCycle|BenchmarkSimInterval|BenchmarkThermalAdvance|BenchmarkThermalSteadyState|BenchmarkMulticoreInterval'
 while [[ $# -gt 0 ]]; do
   case "$1" in
     -count) COUNT="$2"; shift 2 ;;
@@ -36,7 +38,8 @@ done
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 echo "bench: running ${PATTERN} with -benchmem -count=${COUNT}" >&2
-go test -run '^$' -bench "${PATTERN}" -benchmem -count="${COUNT}" . | tee "$RAW" >&2
+# The full pattern at -count=5 runs past go test's default 10m timeout.
+go test -run '^$' -bench "${PATTERN}" -benchmem -count="${COUNT}" -timeout 40m . | tee "$RAW" >&2
 
 # Assemble the JSON record: environment, per-sample parse, and the raw
 # benchstat-compatible text. An existing record's hand-curated baseline
