@@ -335,7 +335,10 @@ func BenchmarkPipelineCycle(b *testing.B) {
 	plan := floorplan.Build(cfg.Plan)
 	meter := power.NewMeter(plan, cfg)
 	prof, _ := trace.ByName("eon")
-	p := pipeline.New(cfg, plan, meter, trace.NewGenerator(prof))
+	p, err := pipeline.New(cfg, plan, meter, trace.NewGenerator(prof))
+	if err != nil {
+		b.Fatal(err)
+	}
 	p.Warmup(200_000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -88,7 +88,10 @@ func main() {
 		pcfg := cfg.Clone() // no shared pointers between workers
 		plan := floorplan.Build(pcfg.Plan)
 		meter := power.NewMeter(plan, pcfg)
-		p := pipeline.New(pcfg, plan, meter, trace.NewGenerator(prof))
+		p, err := pipeline.New(pcfg, plan, meter, trace.NewGenerator(prof))
+		if err != nil {
+			return err
+		}
 		th, err := thermal.New(plan, pcfg)
 		if err != nil {
 			return err

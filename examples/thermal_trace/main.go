@@ -36,7 +36,10 @@ func main() {
 	}
 	plan := floorplan.Build(cfg.Plan)
 	meter := power.NewMeter(plan, cfg)
-	pipe := pipeline.New(cfg, plan, meter, trace.NewGenerator(prof))
+	pipe, err := pipeline.New(cfg, plan, meter, trace.NewGenerator(prof))
+	if err != nil {
+		log.Fatal(err)
+	}
 	th, err := thermal.New(plan, cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -10,13 +10,17 @@ import "fmt"
 
 // Cache is one set-associative cache level with true-LRU replacement. It
 // tracks tags only (data values live in the architectural memory model).
+//
+// A way's tag word stores line+1, so the zero value means "invalid": the
+// hit loop probes a single array instead of separate tag and valid-bit
+// arrays. (The encoding conflates only the line at the very top of the
+// address space, unreachable for any line size above one byte.)
 type Cache struct {
 	sets      int
 	ways      int
 	lineShift uint
 	setMask   uint64
-	tags      []uint64 // sets*ways
-	valid     []bool
+	tags      []uint64 // sets*ways; line+1, 0 = invalid
 	stamp     []uint64 // LRU timestamps
 	tick      uint64
 
@@ -49,7 +53,6 @@ func NewCache(sizeKB, assoc, lineB int) *Cache {
 		lineShift: shift,
 		setMask:   uint64(sets - 1),
 		tags:      make([]uint64, sets*assoc),
-		valid:     make([]bool, sets*assoc),
 		stamp:     make([]uint64, sets*assoc),
 	}
 }
@@ -66,10 +69,11 @@ func (c *Cache) Access(addr uint64) bool {
 	c.Accesses++
 	c.tick++
 	line := addr >> c.lineShift
-	set := int(line & c.setMask)
-	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		if c.valid[base+w] && c.tags[base+w] == line {
+	key := line + 1
+	base := int(line&c.setMask) * c.ways
+	set := c.tags[base : base+c.ways]
+	for w := range set {
+		if set[w] == key {
 			c.stamp[base+w] = c.tick
 			return true
 		}
@@ -77,8 +81,8 @@ func (c *Cache) Access(addr uint64) bool {
 	c.Misses++
 	// Fill: pick an invalid way, else the LRU way.
 	victim := base
-	for w := 0; w < c.ways; w++ {
-		if !c.valid[base+w] {
+	for w := range set {
+		if set[w] == 0 {
 			victim = base + w
 			goto fill
 		}
@@ -87,8 +91,7 @@ func (c *Cache) Access(addr uint64) bool {
 		}
 	}
 fill:
-	c.tags[victim] = line
-	c.valid[victim] = true
+	c.tags[victim] = key
 	c.stamp[victim] = c.tick
 	return false
 }
@@ -97,9 +100,10 @@ fill:
 // statistics.
 func (c *Cache) Probe(addr uint64) bool {
 	line := addr >> c.lineShift
+	key := line + 1
 	base := int(line&c.setMask) * c.ways
 	for w := 0; w < c.ways; w++ {
-		if c.valid[base+w] && c.tags[base+w] == line {
+		if c.tags[base+w] == key {
 			return true
 		}
 	}
@@ -116,8 +120,8 @@ func (c *Cache) MissRate() float64 {
 
 // Reset invalidates all lines and clears statistics.
 func (c *Cache) Reset() {
-	for i := range c.valid {
-		c.valid[i] = false
+	for i := range c.tags {
+		c.tags[i] = 0
 	}
 	c.Accesses, c.Misses, c.tick = 0, 0, 0
 }

@@ -22,7 +22,10 @@ func rig(t *testing.T, mod func(*config.Config)) (*Manager, *thermal.Model, *pip
 	plan := floorplan.Build(cfg.Plan)
 	meter := power.NewMeter(plan, cfg)
 	prof, _ := trace.ByName("eon")
-	pipe := pipeline.New(cfg, plan, meter, trace.NewGenerator(prof))
+	pipe, err := pipeline.New(cfg, plan, meter, trace.NewGenerator(prof))
+	if err != nil {
+		t.Fatal(err)
+	}
 	th, err := thermal.New(plan, cfg)
 	if err != nil {
 		t.Fatal(err)

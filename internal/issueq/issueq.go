@@ -633,11 +633,15 @@ func (q *Queue) compact() {
 			if seg == segRange {
 				// Fully occupied range (always true between consecutive
 				// squeezed holes, and true for the last segment unless
-				// holes beyond the compaction width remain): the ID block
-				// moves as one copy and the map update walks it linearly.
-				copy(q.ids[lo+1-i:hi-i], q.ids[lo+1:hi])
-				for d := lo + 1 - i; d < hi-i; d++ {
-					q.idToPhys[q.ids[d]] = int32(d)
+				// holes beyond the compaction width remain): one fused
+				// pass moves the ID block and rewrites the map — the
+				// source slot is read once, ahead of the overwrite.
+				src := q.ids[lo+1 : hi]
+				dst := q.ids[lo+1-i : hi-i : hi-i]
+				i2p := q.idToPhys
+				for j, id := range src {
+					dst[j] = id
+					i2p[id] = int32(lo + 1 - i + j)
 				}
 			} else {
 				for m := seg; m != 0; m &= m - 1 {

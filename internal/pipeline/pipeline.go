@@ -48,39 +48,8 @@ const (
 	slotDone
 )
 
-// robEntry holds one in-flight instruction. Only the instruction fields the
-// back end reads after dispatch are kept (op/seq/addr rather than the whole
-// isa.Inst): the trimmed entry fits in a single cache line, which matters
-// because completion, wakeup and commit all touch entries in data-dependent
-// order.
-type robEntry struct {
-	seq   uint64
-	addr  uint64 // pre-resolved effective address (memory ops)
-	value uint64
-
-	op        isa.Op
-	state     slotState
-	fp        bool
-	unit      int8
-	mispredct bool
-
-	destPhys int16
-	prevPhys int16
-	src1Phys int16
-	src2Phys int16
-	lsqIdx   int32
-	destFP   bool // destination register file (valid iff destPhys >= 0)
-
-	// Event-driven wakeup bookkeeping (unused in scan mode). waitCnt is
-	// the number of still-unready source registers this entry is
-	// registered on; wnext links the per-register waiter lists (one slot
-	// per source operand, token = id*2+slot); sNext links the per-store
-	// waiter list a blocked load sits on. Link fields are only read while
-	// the entry is on the corresponding list.
-	waitCnt uint8
-	wnext   [2]int32
-	sNext   int32
-}
+// The per-slot in-flight instruction state lives in rob.go, split into
+// parallel hot (robHot) and cold (robCold) arrays inside window.
 
 // storeRef is a snapshot of an unresolved store for disambiguation.
 type storeRef struct {
@@ -129,8 +98,15 @@ type Pipeline struct {
 	fetchResume        int64
 	mispredictInFlight bool
 
-	// Completion buckets indexed by cycle % completionRing.
-	completions [completionRing][]int32
+	// Completion scheduler: intrusive singly-linked lists threaded through
+	// cnext (one link word per active-list slot; a slot is scheduled at
+	// most once at a time), headed by completionHead[cycle%completionRing].
+	// Replaces per-slot []int32 buckets — the whole scheduler is now
+	// ring+links (~8.5 KB at the default geometry) instead of ~1 MB of
+	// pre-sized bucket capacity, and scheduling is two stores, no append.
+	// Within-cycle processing order is immaterial (see completeStage).
+	completionHead [completionRing]int32
+	cnext          []int32
 
 	// L1D port scheduling.
 	portFree []int64
@@ -194,25 +170,12 @@ type Pipeline struct {
 	StallIQ     uint64 // dispatch stalls: issue queue full
 }
 
-// window is the in-flight instruction store: the active-list ring and the
-// program-ordered load/store queue ring.
-type window struct {
-	entries []robEntry
-	head    int
-	tail    int
-	count   int
-
-	lsq      []lsqEntry
-	lsqHead  int
-	lsqTail  int
-	lsqCount int
-}
-
 // New wires up a pipeline for the given configuration, floorplan, power
-// meter and instruction source.
-func New(cfg *config.Config, plan *floorplan.Plan, meter *power.Meter, gen *trace.Generator) *Pipeline {
+// meter and instruction source. It returns an error if the configuration
+// does not validate.
+func New(cfg *config.Config, plan *floorplan.Plan, meter *power.Meter, gen *trace.Generator) (*Pipeline, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("pipeline: %w", err)
 	}
 	p := &Pipeline{
 		cfg:   cfg,
@@ -235,8 +198,7 @@ func New(cfg *config.Config, plan *floorplan.Plan, meter *power.Meter, gen *trac
 		committedMem: isa.NewState(),
 		portFree:     make([]int64, cfg.L1Ports),
 	}
-	p.rob.entries = make([]robEntry, cfg.ActiveList)
-	p.rob.lsq = make([]lsqEntry, cfg.LSQEntries)
+	p.rob.init(cfg.ActiveList, cfg.LSQEntries)
 	p.lsqMaskOK = cfg.LSQEntries <= 64
 
 	p.scanWakeup = defaultScanWakeup
@@ -254,12 +216,9 @@ func New(cfg *config.Config, plan *floorplan.Plan, meter *power.Meter, gen *trac
 	}
 	p.wakeBuf = make([]int32, 0, cfg.ActiveList)
 
-	// Pre-size every completion bucket for the worst case (all in-flight
-	// instructions landing on one slot) so schedule() never grows a
-	// bucket mid-run: bucket appends were the last allocation left in the
-	// steady-state cycle loop.
-	for i := range p.completions {
-		p.completions[i] = make([]int32, 0, cfg.ActiveList)
+	p.cnext = make([]int32, cfg.ActiveList)
+	for i := range p.completionHead {
+		p.completionHead[i] = -1
 	}
 
 	// Initial rename map: arch register i lives in physical register i,
@@ -352,7 +311,7 @@ func New(cfg *config.Config, plan *floorplan.Plan, meter *power.Meter, gen *trac
 	p.curLine = ^uint64(0)
 	p.lineShift = uint(bits.TrailingZeros64(uint64(cfg.L1LineB)))
 	p.issueWidth, p.commitWidth, p.fetchWidth = cfg.IssueWidth, cfg.CommitWidth, cfg.FetchWidth
-	return p
+	return p, nil
 }
 
 // Accessors for the thermal manager and experiments.
@@ -454,93 +413,106 @@ func (p *Pipeline) Cycle() {
 // completeStage retires this cycle's finishing executions: results become
 // visible, dependants wake, stores resolve, mispredicted branches release
 // fetch.
+//
+// The walk follows the cnext intrusive list, which yields entries in
+// reverse scheduling order. Within-cycle order is immaterial: destination
+// physical registers are unique per in-flight entry, the queues' ready
+// sets are bit masks, waiter lists of distinct registers are disjoint, and
+// a load parked on one of several same-address blockers re-checks the
+// whole unresolved set when woken — so every interleaving converges to the
+// same post-stage state (locked by the scan-vs-event lockstep suite and
+// the fig6 golden).
 func (p *Pipeline) completeStage() {
-	bucket := &p.completions[uint64(p.cycle)&(completionRing-1)]
-	if len(*bucket) == 0 {
+	slot := uint64(p.cycle) & (completionRing - 1)
+	id := p.completionHead[slot]
+	if id < 0 {
 		return
 	}
+	p.completionHead[slot] = -1
 	intTags, fpTags := 0, 0
-	for _, id := range *bucket {
-		e := &p.rob.entries[id]
-		e.state = slotDone
-		if e.destPhys >= 0 {
-			if e.destFP {
-				p.physFP[e.destPhys] = e.value
-				p.readyFP[e.destPhys] = true
+	for ; id >= 0; id = p.cnext[id] {
+		h := p.rob.hotAt(id)
+		c := p.rob.coldAt(id)
+		h.state = slotDone
+		if h.destPhys >= 0 {
+			if h.destFP {
+				p.physFP[h.destPhys] = c.value
+				p.readyFP[h.destPhys] = true
 				fpTags++
 				p.ebus.Inc(p.sFPRegWrite)
-				if t := p.waitHeadFP[e.destPhys]; t >= 0 && !p.scanWakeup {
-					p.waitHeadFP[e.destPhys] = -1
+				if t := p.waitHeadFP[h.destPhys]; t >= 0 && !p.scanWakeup {
+					p.waitHeadFP[h.destPhys] = -1
 					p.wakeRegWaiters(t)
 				}
 			} else {
-				p.physInt[e.destPhys] = e.value
-				p.readyInt[e.destPhys] = true
+				p.physInt[h.destPhys] = c.value
+				p.readyInt[h.destPhys] = true
 				intTags++
 				p.rf.ChargeWrite()
-				if t := p.waitHeadInt[e.destPhys]; t >= 0 && !p.scanWakeup {
-					p.waitHeadInt[e.destPhys] = -1
+				if t := p.waitHeadInt[h.destPhys]; t >= 0 && !p.scanWakeup {
+					p.waitHeadInt[h.destPhys] = -1
 					p.wakeRegWaiters(t)
 				}
 			}
 		}
-		if e.op == isa.OpStore && e.lsqIdx >= 0 {
-			p.rob.lsq[e.lsqIdx].resolved = true
-			p.rob.lsq[e.lsqIdx].data = e.value
-			p.removeUnresolved(e.seq)
+		if h.op == isa.OpStore && c.lsqIdx >= 0 {
+			p.rob.lsq[c.lsqIdx].resolved = true
+			p.rob.lsq[c.lsqIdx].data = c.value
+			p.removeUnresolved(c.seq)
 			if !p.scanWakeup {
 				p.wakeStoreWaiters(id)
 			}
 		}
-		if e.mispredct {
+		if c.mispredct {
 			p.fetchResume = p.cycle + int64(p.cfg.BranchPenalty)
 			p.mispredictInFlight = false
 		}
 	}
 	p.intQ.Broadcast(intTags)
 	p.fpQ.Broadcast(fpTags)
-	*bucket = (*bucket)[:0]
 }
 
 // commitStage retires completed instructions in program order.
 func (p *Pipeline) commitStage() {
 	for n := 0; n < p.commitWidth && p.rob.count > 0; n++ {
-		e := &p.rob.entries[p.rob.head]
-		if e.state != slotDone {
+		head := int32(p.rob.head)
+		h := p.rob.hotAt(head)
+		if h.state != slotDone {
 			return
 		}
-		if e.op == isa.OpStore {
-			le := &p.rob.lsq[e.lsqIdx]
+		c := p.rob.coldAt(head)
+		if h.op == isa.OpStore {
+			le := &p.rob.lsq[c.lsqIdx]
 			p.committedMem.WriteMem(le.addr, le.data)
 			p.ebus.Inc(p.sDcache)
 		}
-		if e.lsqIdx >= 0 {
-			p.storeMask &^= 1 << uint(e.lsqIdx)
+		if c.lsqIdx >= 0 {
+			p.storeMask &^= 1 << uint(c.lsqIdx)
 			if p.rob.lsqHead++; p.rob.lsqHead == len(p.rob.lsq) {
 				p.rob.lsqHead = 0
 			}
 			p.rob.lsqCount--
 		}
-		if e.prevPhys >= 0 {
-			if e.destFP {
-				p.freeFP = append(p.freeFP, e.prevPhys)
+		if c.prevPhys >= 0 {
+			if h.destFP {
+				p.freeFP = append(p.freeFP, c.prevPhys)
 			} else {
-				p.freeInt = append(p.freeInt, e.prevPhys)
+				p.freeInt = append(p.freeInt, c.prevPhys)
 			}
 		}
 		// The active-list slot is about to be recycled: if the issued
 		// entry is still in its queue's post-issue drain window, clear it
 		// now so the slot ID can be re-dispatched. The Contains guard
 		// keeps the already-expired common case call-free.
-		if e.fp {
-			if p.fpQ.Contains(int32(p.rob.head)) {
-				p.fpQ.Remove(int32(p.rob.head))
+		if h.fp {
+			if p.fpQ.Contains(head) {
+				p.fpQ.Remove(head)
 			}
-		} else if p.intQ.Contains(int32(p.rob.head)) {
-			p.intQ.Remove(int32(p.rob.head))
+		} else if p.intQ.Contains(head) {
+			p.intQ.Remove(head)
 		}
-		e.state = slotFree
-		if p.rob.head++; p.rob.head == len(p.rob.entries) {
+		h.state = slotFree
+		if p.rob.head++; p.rob.head == len(p.rob.hot) {
 			p.rob.head = 0
 		}
 		p.rob.count--
@@ -552,13 +524,12 @@ func (p *Pipeline) commitStage() {
 // constraints) are satisfied as ready to request selection.
 //
 // In the default event-driven mode the ready set was computed
-// incrementally — producers woke exactly their consumers at writeback
-// (wakeRegWaiters/wakeStoreWaiters) and dispatch enqueued born-ready
-// instructions — so this stage only flushes the accumulated buffer into
-// the queues' ready masks. The timing is identical to the scan: both
-// observe the register/store state as of this cycle's completeStage, and
-// MarkReady order within a cycle cannot matter because the ready set is a
-// bit mask.
+// incrementally — producers marked exactly their consumers ready at
+// writeback (wakeRegWaiters/wakeStoreWaiters via wakeNow) — so this stage
+// only flushes the born-ready instructions dispatch buffered last cycle.
+// The timing is identical to the scan: both observe the register/store
+// state as of this cycle's completeStage, and MarkReady order within a
+// cycle cannot matter because the ready set is a bit mask.
 func (p *Pipeline) wakeupStage() {
 	if p.scanWakeup {
 		p.wakeQueue(p.intQ)
@@ -566,7 +537,7 @@ func (p *Pipeline) wakeupStage() {
 		return
 	}
 	for _, id := range p.wakeBuf {
-		if p.rob.entries[id].fp {
+		if p.rob.hot[id].fp {
 			p.fpQ.MarkReady(id)
 		} else {
 			p.intQ.MarkReady(id)
@@ -595,11 +566,11 @@ func (p *Pipeline) ScanWakeup() bool { return p.scanWakeup }
 // either become ready now or (loads) park on a blocking store's list.
 func (p *Pipeline) wakeRegWaiters(t int32) {
 	for t >= 0 {
-		e := &p.rob.entries[t>>1]
-		next := e.wnext[t&1]
-		e.waitCnt--
-		if e.waitCnt == 0 {
-			p.maybeWake(t>>1, e)
+		next := p.rob.wnext[t]
+		h := p.rob.hotAt(t >> 1)
+		h.waitCnt--
+		if h.waitCnt == 0 {
+			p.wakeNow(t>>1, h)
 		}
 		t = next
 	}
@@ -612,9 +583,8 @@ func (p *Pipeline) wakeStoreWaiters(store int32) {
 	t := p.storeWaitHead[store]
 	p.storeWaitHead[store] = -1
 	for t >= 0 {
-		e := &p.rob.entries[t]
-		next := e.sNext
-		p.maybeWake(t, e)
+		next := p.rob.sNext[t]
+		p.wakeNow(t, p.rob.hotAt(t))
 		t = next
 	}
 }
@@ -623,10 +593,15 @@ func (p *Pipeline) wakeStoreWaiters(store int32) {
 // register operands or loses its blocking store: loads re-check memory
 // ordering and park on an older unresolved same-address store if one
 // remains; everything else joins the next wakeupStage's ready flush.
-func (p *Pipeline) maybeWake(id int32, e *robEntry) {
-	if e.op == isa.OpLoad || e.op == isa.OpLoadFP {
-		if s := p.findBlocker(e); s >= 0 {
-			e.sNext = p.storeWaitHead[s]
+//
+// Only dispatch calls maybeWake: a born-ready instruction dispatched this
+// cycle becomes visible to selection at the NEXT cycle's wakeupStage in
+// both wakeup modes, so its readiness must stay buffered.
+func (p *Pipeline) maybeWake(id int32, h *robHot) {
+	if h.op == isa.OpLoad || h.op == isa.OpLoadFP {
+		c := p.rob.coldAt(id)
+		if s := p.findBlocker(c.seq, c.addr); s >= 0 {
+			p.rob.sNext[id] = p.storeWaitHead[s]
 			p.storeWaitHead[s] = id
 			return
 		}
@@ -634,12 +609,34 @@ func (p *Pipeline) maybeWake(id int32, e *robEntry) {
 	p.wakeBuf = append(p.wakeBuf, id)
 }
 
-// findBlocker returns the active-list slot of an older unresolved
-// same-address store blocking this load, or -1.
-func (p *Pipeline) findBlocker(e *robEntry) int32 {
+// wakeNow is maybeWake for completion-originated readiness: the ready bit
+// lands in the queue immediately instead of round-tripping through wakeBuf.
+// Nothing between completeStage and wakeupStage reads the ready masks
+// (commitStage only removes already-issued, draining entries), so the
+// end-of-cycle state — what the scan-mode lockstep suite compares — is
+// bit-identical to buffering; only the append/flush is skipped.
+func (p *Pipeline) wakeNow(id int32, h *robHot) {
+	if h.op == isa.OpLoad || h.op == isa.OpLoadFP {
+		c := p.rob.coldAt(id)
+		if s := p.findBlocker(c.seq, c.addr); s >= 0 {
+			p.rob.sNext[id] = p.storeWaitHead[s]
+			p.storeWaitHead[s] = id
+			return
+		}
+	}
+	if h.fp {
+		p.fpQ.MarkReady(id)
+	} else {
+		p.intQ.MarkReady(id)
+	}
+}
+
+// findBlocker returns the active-list slot of an unresolved same-address
+// store older than seq blocking a load, or -1.
+func (p *Pipeline) findBlocker(seq, addr uint64) int32 {
 	for i := range p.unresolved {
 		s := &p.unresolved[i]
-		if s.seq < e.seq && s.addr == e.addr {
+		if s.seq < seq && s.addr == addr {
 			return s.rob
 		}
 	}
@@ -653,12 +650,15 @@ func (p *Pipeline) findBlocker(e *robEntry) int32 {
 func (p *Pipeline) wakeQueue(q *issueq.Queue) {
 	for m := q.WaitMask(); m != 0; m &= m - 1 {
 		id := q.IDAt(bits.TrailingZeros64(m))
-		e := &p.rob.entries[id]
-		if !p.srcReady(e) {
+		h := p.rob.hotAt(id)
+		if !p.srcReady(h, p.rob.coldAt(id)) {
 			continue
 		}
-		if (e.op == isa.OpLoad || e.op == isa.OpLoadFP) && p.loadBlocked(e) {
-			continue
+		if h.op == isa.OpLoad || h.op == isa.OpLoadFP {
+			c := p.rob.coldAt(id)
+			if p.loadBlocked(c.seq, c.addr) {
+				continue
+			}
 		}
 		q.MarkReady(id)
 	}
@@ -670,9 +670,9 @@ func (p *Pipeline) wakeQueue(q *issueq.Queue) {
 // trace-resolved, so disambiguation is address-precise — the
 // perfect-disambiguation assumption common to SimpleScalar-era studies)
 // and leave when their data resolves.
-func (p *Pipeline) loadBlocked(e *robEntry) bool {
+func (p *Pipeline) loadBlocked(seq, addr uint64) bool {
 	for _, s := range p.unresolved {
-		if s.seq < e.seq && s.addr == e.addr {
+		if s.seq < seq && s.addr == addr {
 			return true
 		}
 	}
@@ -692,13 +692,13 @@ func (p *Pipeline) removeUnresolved(seq uint64) {
 	}
 }
 
-func (p *Pipeline) srcReady(e *robEntry) bool {
-	if e.fp {
-		return (e.src1Phys < 0 || p.readyFP[e.src1Phys]) &&
-			(e.src2Phys < 0 || p.readyFP[e.src2Phys])
+func (p *Pipeline) srcReady(h *robHot, c *robCold) bool {
+	if h.fp {
+		return (c.src1Phys < 0 || p.readyFP[c.src1Phys]) &&
+			(c.src2Phys < 0 || p.readyFP[c.src2Phys])
 	}
-	return (e.src1Phys < 0 || p.readyInt[e.src1Phys]) &&
-		(e.src2Phys < 0 || p.readyInt[e.src2Phys])
+	return (c.src1Phys < 0 || p.readyInt[c.src1Phys]) &&
+		(c.src2Phys < 0 || p.readyInt[c.src2Phys])
 }
 
 // issueStage runs the select trees over the ready bit vectors and launches
@@ -708,7 +708,7 @@ func (p *Pipeline) issueStage() {
 	var addMask, mulMask uint64
 	for m := p.fpQ.ReadyMask(); m != 0; m &= m - 1 {
 		phys := bits.TrailingZeros64(m)
-		if p.rob.entries[p.fpQ.IDAt(phys)].op == isa.OpFMul {
+		if p.rob.hot[p.fpQ.IDAt(phys)].op == isa.OpFMul {
 			mulMask |= 1 << uint(phys)
 		} else {
 			addMask |= 1 << uint(phys)
@@ -745,27 +745,28 @@ func (p *Pipeline) issueStage() {
 }
 
 func (p *Pipeline) issueInt(g seltree.Grant) {
-	e := &p.rob.entries[g.ID]
+	h := p.rob.hotAt(g.ID)
+	c := p.rob.coldAt(g.ID)
 	p.intQ.Issue(g.ID)
-	e.state = slotIssued
-	e.unit = int8(g.Unit)
+	h.state = slotIssued
+	h.unit = int8(g.Unit)
 	p.Issued++
 
 	// Register reads through this ALU's register-file copy ports.
 	ops := 0
-	if e.src1Phys >= 0 {
+	if c.src1Phys >= 0 {
 		ops++
 	}
-	if e.src2Phys >= 0 {
+	if c.src2Phys >= 0 {
 		ops++
 	}
 	p.rf.ChargeRead(g.Unit, ops)
 
 	var lat int
-	switch e.op {
+	switch h.op {
 	case isa.OpMul:
 		p.ebus.Inc(p.sIntMul[g.Unit])
-		e.value = isa.ALUResult(e.op, p.physInt[e.src1Phys], p.physInt[e.src2Phys])
+		c.value = isa.ALUResult(h.op, p.physInt[c.src1Phys], p.physInt[c.src2Phys])
 		lat = p.cfg.IntMulLatency
 	case isa.OpBr:
 		p.ebus.Inc(p.sIntALU[g.Unit])
@@ -776,18 +777,18 @@ func (p *Pipeline) issueInt(g seltree.Grant) {
 		p.ebus.Inc(p.sLSQ)
 		p.ebus.Inc(p.sDTB)
 		p.Loads++
-		lat = p.loadLatency(e)
-		e.value = p.loadValue(e)
+		lat = p.loadLatency(c.addr)
+		c.value = p.loadValue(c.seq, c.addr)
 	case isa.OpStore:
 		p.ebus.Inc(p.sIntALU[g.Unit]) // AGU + data read
 		p.ebus.Inc(p.sLSQ)
 		p.ebus.Inc(p.sDTB)
 		p.Stores++
-		e.value = p.physInt[e.src2Phys]
+		c.value = p.physInt[c.src2Phys]
 		lat = p.cfg.IntALULatency
 	default:
 		p.ebus.Inc(p.sIntALU[g.Unit])
-		e.value = isa.ALUResult(e.op, p.physInt[e.src1Phys], p.physInt[e.src2Phys])
+		c.value = isa.ALUResult(h.op, p.physInt[c.src1Phys], p.physInt[c.src2Phys])
 		lat = p.cfg.IntALULatency
 	}
 	p.schedule(g.ID, lat)
@@ -795,7 +796,7 @@ func (p *Pipeline) issueInt(g seltree.Grant) {
 
 // loadLatency computes a load's completion latency including AGU, L1D port
 // queueing, and the cache/memory access.
-func (p *Pipeline) loadLatency(e *robEntry) int {
+func (p *Pipeline) loadLatency(addr uint64) int {
 	// Pick the earliest-free L1D port.
 	best := 0
 	for i := 1; i < len(p.portFree); i++ {
@@ -808,7 +809,7 @@ func (p *Pipeline) loadLatency(e *robEntry) int {
 		start = p.portFree[best]
 	}
 	p.portFree[best] = start + 1
-	lat, _ := p.mem.Data(e.addr)
+	lat, _ := p.mem.Data(addr)
 	p.ebus.Inc(p.sDcache)
 	return int(start-p.cycle) + lat
 }
@@ -816,7 +817,7 @@ func (p *Pipeline) loadLatency(e *robEntry) int {
 // loadValue resolves the load's value: forward from the youngest older
 // in-flight store to the same address, else read committed memory. All
 // older stores are resolved by the wakeup constraint, so this is exact.
-func (p *Pipeline) loadValue(e *robEntry) uint64 {
+func (p *Pipeline) loadValue(seq, addr uint64) uint64 {
 	var (
 		bestSeq uint64
 		found   bool
@@ -827,7 +828,7 @@ func (p *Pipeline) loadValue(e *robEntry) uint64 {
 		// number is order-independent, so mask order equals ring order.
 		for m := p.storeMask; m != 0; m &= m - 1 {
 			le := &p.rob.lsq[bits.TrailingZeros64(m)]
-			if le.seq < e.seq && le.addr == e.addr &&
+			if le.seq < seq && le.addr == addr &&
 				(!found || le.seq > bestSeq) {
 				bestSeq, val, found = le.seq, le.data, true
 			}
@@ -836,7 +837,7 @@ func (p *Pipeline) loadValue(e *robEntry) uint64 {
 		idx := p.rob.lsqHead
 		for n := 0; n < p.rob.lsqCount; n++ {
 			le := &p.rob.lsq[idx]
-			if le.isStore && le.seq < e.seq && le.addr == e.addr &&
+			if le.isStore && le.seq < seq && le.addr == addr &&
 				(!found || le.seq > bestSeq) {
 				bestSeq, val, found = le.seq, le.data, true
 			}
@@ -848,33 +849,38 @@ func (p *Pipeline) loadValue(e *robEntry) uint64 {
 	if found {
 		return val
 	}
-	return p.committedMem.ReadMem(e.addr)
+	return p.committedMem.ReadMem(addr)
 }
 
 func (p *Pipeline) issueFPAdd(g seltree.Grant) {
-	e := &p.rob.entries[g.ID]
+	h := p.rob.hotAt(g.ID)
+	c := p.rob.coldAt(g.ID)
 	p.fpQ.Issue(g.ID)
-	e.state = slotIssued
-	e.unit = int8(g.Unit)
+	h.state = slotIssued
+	h.unit = int8(g.Unit)
 	p.Issued++
 	p.ebus.Inc(p.sFPAdd[g.Unit])
 	p.ebus.IncN(p.sFPRegRead, 2)
-	e.value = isa.ALUResult(e.op, p.physFP[e.src1Phys], p.physFP[e.src2Phys])
+	c.value = isa.ALUResult(h.op, p.physFP[c.src1Phys], p.physFP[c.src2Phys])
 	p.schedule(g.ID, p.cfg.FPAddLatency)
 }
 
 func (p *Pipeline) issueFPMul(g seltree.Grant) {
-	e := &p.rob.entries[g.ID]
+	h := p.rob.hotAt(g.ID)
+	c := p.rob.coldAt(g.ID)
 	p.fpQ.Issue(g.ID)
-	e.state = slotIssued
-	e.unit = int8(g.Unit)
+	h.state = slotIssued
+	h.unit = int8(g.Unit)
 	p.Issued++
 	p.ebus.Inc(p.sFPMulOp)
 	p.ebus.IncN(p.sFPRegRead, 2)
-	e.value = isa.ALUResult(e.op, p.physFP[e.src1Phys], p.physFP[e.src2Phys])
+	c.value = isa.ALUResult(h.op, p.physFP[c.src1Phys], p.physFP[c.src2Phys])
 	p.schedule(g.ID, p.cfg.FPMulLatency)
 }
 
+// schedule enqueues id for completion lat cycles from now: push onto the
+// target slot's intrusive list. Each active-list slot is in flight through
+// at most one execution at a time, so its cnext link is free here.
 func (p *Pipeline) schedule(id int32, lat int) {
 	if lat < 1 {
 		lat = 1
@@ -883,7 +889,8 @@ func (p *Pipeline) schedule(id int32, lat int) {
 		panic(fmt.Sprintf("pipeline: latency %d exceeds completion ring", lat))
 	}
 	at := uint64(p.cycle+int64(lat)) & (completionRing - 1)
-	p.completions[at] = append(p.completions[at], id)
+	p.cnext[id] = p.completionHead[at]
+	p.completionHead[at] = id
 }
 
 // frontendStage fetches, renames and dispatches up to FetchWidth
@@ -901,7 +908,7 @@ func (p *Pipeline) frontendStage() {
 		in := p.gen.Peek()
 
 		// Structural resources.
-		if p.rob.count >= len(p.rob.entries) {
+		if p.rob.count >= len(p.rob.hot) {
 			p.StallROB++
 			return
 		}
@@ -965,8 +972,8 @@ func (p *Pipeline) frontendStage() {
 		if endGroup {
 			if p.mispredictInFlight {
 				// Mark the just-dispatched branch as the redirect source.
-				idx := (p.rob.tail + len(p.rob.entries) - 1) % len(p.rob.entries)
-				p.rob.entries[idx].mispredct = true
+				idx := (p.rob.tail + len(p.rob.hot) - 1) % len(p.rob.hot)
+				p.rob.cold[idx].mispredct = true
 			}
 			return
 		}
@@ -978,56 +985,59 @@ func (p *Pipeline) frontendStage() {
 // the caller.
 func (p *Pipeline) dispatch(in *isa.Inst, fp bool) {
 	idx := int32(p.rob.tail)
-	e := &p.rob.entries[idx]
-	// Field stores instead of a struct literal: the literal builds a ~100-byte
-	// temporary and duff-copies it over the slot every dispatch. The wakeup
-	// link fields (wnext/sNext) need no clearing — they are written at list
-	// registration and only read while the entry is on that list.
-	e.op, e.seq, e.addr = in.Op, in.Seq, in.Addr
-	e.state = slotInQueue
-	e.fp = fp
-	e.destPhys, e.prevPhys = -1, -1
-	e.src1Phys, e.src2Phys = -1, -1
-	e.lsqIdx = -1
-	e.unit = 0
-	e.mispredct = false
-	e.value = 0
-	e.waitCnt = 0
-	e.destFP = false
+	h := p.rob.hotAt(idx)
+	c := p.rob.coldAt(idx)
+	// Field stores instead of struct literals: a literal builds a temporary
+	// and copies it over the slot every dispatch. The wakeup link words
+	// (wnext/sNext) need no clearing — they are written at list registration
+	// and only read while the entry is on that list.
+	h.op = in.Op
+	h.state = slotInQueue
+	h.fp = fp
+	h.destFP = false
+	h.unit = 0
+	h.waitCnt = 0
+	h.destPhys = -1
+	c.seq, c.addr = in.Seq, in.Addr
+	c.value = 0
+	c.prevPhys = -1
+	c.src1Phys, c.src2Phys = -1, -1
+	c.mispredct = false
+	c.lsqIdx = -1
 
 	// Rename sources through the map table of the queue's side (FP loads
 	// source their address from the integer file).
 	if fp {
 		p.ebus.Inc(p.sFPMap)
 		if in.Src1 != isa.NoReg {
-			e.src1Phys = p.ratFP[in.Src1]
+			c.src1Phys = p.ratFP[in.Src1]
 		}
 		if in.Src2 != isa.NoReg {
-			e.src2Phys = p.ratFP[in.Src2]
+			c.src2Phys = p.ratFP[in.Src2]
 		}
 	} else {
 		p.ebus.Inc(p.sIntMap)
 		if in.Src1 != isa.NoReg {
-			e.src1Phys = p.ratInt[in.Src1]
+			c.src1Phys = p.ratInt[in.Src1]
 		}
 		if in.Src2 != isa.NoReg {
-			e.src2Phys = p.ratInt[in.Src2]
+			c.src2Phys = p.ratInt[in.Src2]
 		}
 	}
 	if in.Op.HasDest() {
 		if in.Op.DestIsFP() {
 			newPhys := p.freeFP[len(p.freeFP)-1]
 			p.freeFP = p.freeFP[:len(p.freeFP)-1]
-			e.prevPhys = p.ratFP[in.Dest]
-			e.destPhys = newPhys
-			e.destFP = true
+			c.prevPhys = p.ratFP[in.Dest]
+			h.destPhys = newPhys
+			h.destFP = true
 			p.ratFP[in.Dest] = newPhys
 			p.readyFP[newPhys] = false
 		} else {
 			newPhys := p.freeInt[len(p.freeInt)-1]
 			p.freeInt = p.freeInt[:len(p.freeInt)-1]
-			e.prevPhys = p.ratInt[in.Dest]
-			e.destPhys = newPhys
+			c.prevPhys = p.ratInt[in.Dest]
+			h.destPhys = newPhys
 			p.ratInt[in.Dest] = newPhys
 			p.readyInt[newPhys] = false
 		}
@@ -1044,7 +1054,7 @@ func (p *Pipeline) dispatch(in *isa.Inst, fp bool) {
 			p.rob.lsqTail = 0
 		}
 		p.rob.lsqCount++
-		e.lsqIdx = l
+		c.lsqIdx = l
 		p.ebus.Inc(p.sLSQ)
 	}
 
@@ -1066,23 +1076,23 @@ func (p *Pipeline) dispatch(in *isa.Inst, fp bool) {
 			ready = p.readyFP
 			heads = p.waitHeadFP
 		}
-		if e.src1Phys >= 0 && !ready[e.src1Phys] {
-			e.wnext[0] = heads[e.src1Phys]
-			heads[e.src1Phys] = idx * 2
+		if c.src1Phys >= 0 && !ready[c.src1Phys] {
+			p.rob.wnext[idx*2] = heads[c.src1Phys]
+			heads[c.src1Phys] = idx * 2
 			wc++
 		}
-		if e.src2Phys >= 0 && !ready[e.src2Phys] {
-			e.wnext[1] = heads[e.src2Phys]
-			heads[e.src2Phys] = idx*2 + 1
+		if c.src2Phys >= 0 && !ready[c.src2Phys] {
+			p.rob.wnext[idx*2+1] = heads[c.src2Phys]
+			heads[c.src2Phys] = idx*2 + 1
 			wc++
 		}
-		e.waitCnt = wc
+		h.waitCnt = wc
 		if wc == 0 {
-			p.maybeWake(idx, e)
+			p.maybeWake(idx, h)
 		}
 	}
 
-	if p.rob.tail++; p.rob.tail == len(p.rob.entries) {
+	if p.rob.tail++; p.rob.tail == len(p.rob.hot) {
 		p.rob.tail = 0
 	}
 	p.rob.count++

@@ -15,7 +15,11 @@ func newPipe(cfg *config.Config, prof trace.Profile) (*Pipeline, *power.Meter) {
 	plan := floorplan.Build(cfg.Plan)
 	meter := power.NewMeter(plan, cfg)
 	gen := trace.NewGenerator(prof)
-	return New(cfg, plan, meter, gen), meter
+	p, err := New(cfg, plan, meter, gen)
+	if err != nil {
+		panic(err)
+	}
+	return p, meter
 }
 
 // runAndValidate executes n instructions, drains, and cross-checks the
@@ -402,7 +406,10 @@ func TestQuickConfigVariationsPreserveSemantics(t *testing.T) {
 
 		plan := floorplan.Build(cfg.Plan)
 		meter := power.NewMeter(plan, cfg)
-		p := New(cfg, plan, meter, trace.NewGenerator(prof))
+		p, err := New(cfg, plan, meter, trace.NewGenerator(prof))
+		if err != nil {
+			return false
+		}
 		const n = 6_000
 		p.SetFetchLimit(n)
 		for p.Fetched < n {

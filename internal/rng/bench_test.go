@@ -1,0 +1,37 @@
+package rng
+
+import "testing"
+
+// Geometric-threshold fixtures spanning the profile range: dependency
+// distances are short (mean ~3) for value operands and long (mean ~20-50)
+// for address operands.
+var geomThresholds = []struct {
+	name string
+	t    uint64
+}{
+	{"mean3", GeometricThreshold(3)},
+	{"mean8", GeometricThreshold(8)},
+	{"mean32", GeometricThreshold(32)},
+}
+
+func BenchmarkBufferedGeometricT(b *testing.B) {
+	for _, tc := range geomThresholds {
+		b.Run(tc.name, func(b *testing.B) {
+			r := NewBuffered(1, DefaultBatch)
+			acc := 0
+			for i := 0; i < b.N; i++ {
+				acc += r.GeometricT(tc.t)
+			}
+			_ = acc
+		})
+	}
+}
+
+func BenchmarkBufferedUint64(b *testing.B) {
+	r := NewBuffered(1, DefaultBatch)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += r.Uint64()
+	}
+	_ = acc
+}

@@ -1,0 +1,149 @@
+package rng
+
+import "fmt"
+
+// DefaultBatch is the refill size Buffered uses when the caller does not
+// pick one: large enough to amortize the refill loop, small enough that a
+// buffer stays a fraction of an L1 cache (256 draws = 2 KiB).
+const DefaultBatch = 256
+
+// Buffered wraps a Source with a refillable draw buffer: Fill produces the
+// next batch of raw 64-bit draws in one tight pass, and every sampling
+// method consumes them one at a time. Because each method consumes exactly
+// the draws its Source counterpart would — one Uint64 per U53/Float64/
+// Intn/Bool trial, one per GeometricT trial — the emitted stream is
+// bit-identical to an unbuffered Source with the same seed at any batch
+// size (locked by TestBufferedMatchesSource across sizes 1/7/64/1024).
+// The buffer is read-ahead state only: it never changes draw count or
+// order, so the draw-order contract (U53() < Threshold(p)) that the trace
+// generator and the goldens pin is untouched.
+//
+// Buffered is not safe for concurrent use, matching Source.
+type Buffered struct {
+	src Source
+	buf []uint64
+	pos int
+}
+
+// NewBuffered returns a buffered generator seeded like New(seed),
+// refilling batch draws at a time. batch <= 0 selects DefaultBatch.
+func NewBuffered(seed uint64, batch int) *Buffered {
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	b := &Buffered{buf: make([]uint64, batch)}
+	b.src.Seed(seed)
+	b.pos = batch // empty: first draw refills
+	return b
+}
+
+// Seed resets the generator state from seed (see Source.Seed) and discards
+// any buffered read-ahead.
+func (b *Buffered) Seed(seed uint64) {
+	b.src.Seed(seed)
+	b.pos = len(b.buf)
+}
+
+// Uint64 returns the next 64 random bits. The in-buffer fast path is kept
+// small enough for the compiler to inline into the samplers below and into
+// callers' draw loops; the refill is a separate call so its cost does not
+// count against the inlining budget.
+func (b *Buffered) Uint64() uint64 {
+	pos := b.pos
+	if pos >= len(b.buf) {
+		b.refill()
+		pos = 0
+	}
+	b.pos = pos + 1
+	return b.buf[pos]
+}
+
+// refill regenerates the buffer and rewinds the cursor.
+func (b *Buffered) refill() {
+	b.src.Fill(b.buf)
+	b.pos = 0
+}
+
+// U53 returns the next draw's 53-bit mantissa sample (see Source.U53).
+func (b *Buffered) U53() uint64 {
+	return b.Uint64() >> 11
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (b *Buffered) Float64() float64 {
+	return float64(b.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (b *Buffered) Bool(p float64) bool {
+	return b.Float64() < p
+}
+
+// BoolT returns true with the probability encoded by Threshold.
+func (b *Buffered) BoolT(t uint64) bool {
+	return b.U53() < t
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (b *Buffered) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	if n&(n-1) == 0 {
+		return int(b.Uint64() & uint64(n-1))
+	}
+	return int(b.Uint64() % uint64(n))
+}
+
+// Range returns a uniform integer in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (b *Buffered) Range(lo, hi int) int {
+	if hi < lo {
+		panic("rng: Range with hi < lo")
+	}
+	return lo + b.Intn(hi-lo+1)
+}
+
+// Geometric returns a sample from a geometric distribution with the given
+// mean (see Source.Geometric).
+func (b *Buffered) Geometric(mean float64) int {
+	return b.GeometricT(GeometricThreshold(mean))
+}
+
+// GeometricT samples the geometric distribution whose threshold t was
+// produced by GeometricThreshold, consuming one buffered draw per trial
+// exactly like Source.GeometricT (including the GeometricMaxTrials cap).
+// The trial loop keeps the buffer and cursor in registers and writes the
+// cursor back only on exit; wider (unrolled) scans were benchmarked and
+// lose at the short dependency distances that dominate call volume.
+func (b *Buffered) GeometricT(t uint64) int {
+	if t == 0 {
+		return 1
+	}
+	buf, pos := b.buf, b.pos
+	n := 1
+	for {
+		if uint(pos) >= uint(len(buf)) {
+			b.src.Fill(buf)
+			pos = 0
+		}
+		v := buf[pos]
+		pos++
+		if v>>11 < t {
+			b.pos = pos
+			return n
+		}
+		n++
+		if n >= GeometricMaxTrials {
+			b.pos = pos
+			return n
+		}
+	}
+}
+
+// BatchSize returns the refill size (for tests and diagnostics).
+func (b *Buffered) BatchSize() int { return len(b.buf) }
+
+func (b *Buffered) String() string {
+	return fmt.Sprintf("rng.Buffered{batch: %d, unread: %d}", len(b.buf), len(b.buf)-b.pos)
+}

@@ -1,0 +1,141 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// refillSizes are the batch sizes the equivalence tests sweep: degenerate
+// (1), odd (7, never aligned with caller draw patterns), the trace
+// generator's scale (64), and oversized (1024). Boundary behavior differs
+// at each — a draw pattern that straddles a refill at one size lands
+// mid-buffer at another.
+var refillSizes = []int{1, 7, 64, 1024}
+
+// TestBufferedMatchesSource proves the core contract: the buffered U53
+// stream is bit-identical to the unbuffered Source stream at every refill
+// size, over enough draws to cross every buffer boundary many times.
+func TestBufferedMatchesSource(t *testing.T) {
+	for _, size := range refillSizes {
+		ref := New(0xC0FFEE)
+		buf := NewBuffered(0xC0FFEE, size)
+		for i := 0; i < 5000; i++ {
+			if got, want := buf.U53(), ref.U53(); got != want {
+				t.Fatalf("batch=%d: U53 draw %d = %#x, want %#x", size, i, got, want)
+			}
+		}
+	}
+}
+
+// TestBufferedMixedDrawsMatchSource interleaves every sampling method in a
+// deterministic pattern and requires the buffered and unbuffered streams to
+// agree draw for draw — the method mix is what the trace generator actually
+// does, so this is the layout the refill boundaries must survive.
+func TestBufferedMixedDrawsMatchSource(t *testing.T) {
+	gt := GeometricThreshold(3.5)
+	bt := Threshold(0.3)
+	for _, size := range refillSizes {
+		ref := New(99)
+		buf := NewBuffered(99, size)
+		for i := 0; i < 3000; i++ {
+			switch i % 7 {
+			case 0:
+				if a, b := buf.Uint64(), ref.Uint64(); a != b {
+					t.Fatalf("batch=%d draw %d: Uint64 %#x != %#x", size, i, a, b)
+				}
+			case 1:
+				if a, b := buf.U53(), ref.U53(); a != b {
+					t.Fatalf("batch=%d draw %d: U53 %#x != %#x", size, i, a, b)
+				}
+			case 2:
+				if a, b := buf.Float64(), ref.Float64(); a != b {
+					t.Fatalf("batch=%d draw %d: Float64 %v != %v", size, i, a, b)
+				}
+			case 3:
+				if a, b := buf.Intn(17), ref.Intn(17); a != b {
+					t.Fatalf("batch=%d draw %d: Intn %d != %d", size, i, a, b)
+				}
+			case 4:
+				if a, b := buf.BoolT(bt), ref.BoolT(bt); a != b {
+					t.Fatalf("batch=%d draw %d: BoolT %v != %v", size, i, a, b)
+				}
+			case 5:
+				if a, b := buf.GeometricT(gt), ref.GeometricT(gt); a != b {
+					t.Fatalf("batch=%d draw %d: GeometricT %d != %d", size, i, a, b)
+				}
+			case 6:
+				if a, b := buf.Range(3, 40), ref.Range(3, 40); a != b {
+					t.Fatalf("batch=%d draw %d: Range %d != %d", size, i, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestBufferedRefillBoundaryProperty is the randomized refill-boundary
+// check: arbitrary seeds, arbitrary small batch sizes, arbitrary draw
+// counts — the buffered stream must always equal the unbuffered one.
+func TestBufferedRefillBoundaryProperty(t *testing.T) {
+	f := func(seed uint64, sizeRaw uint8, nRaw uint16) bool {
+		size := int(sizeRaw%130) + 1 // 1..130: crosses 64-draw and odd layouts
+		n := int(nRaw%2000) + 1
+		ref := New(seed)
+		buf := NewBuffered(seed, size)
+		for i := 0; i < n; i++ {
+			if buf.U53() != ref.U53() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBufferedSeedReset proves Seed discards buffered read-ahead: after a
+// reseed the stream restarts from the seed, not from stale buffer contents.
+func TestBufferedSeedReset(t *testing.T) {
+	b := NewBuffered(7, 64)
+	first := make([]uint64, 100)
+	for i := range first {
+		first[i] = b.Uint64()
+	}
+	b.Seed(7)
+	for i := range first {
+		if got := b.Uint64(); got != first[i] {
+			t.Fatalf("after reseed, draw %d = %#x, want %#x", i, got, first[i])
+		}
+	}
+}
+
+// TestBufferedDefaultBatch pins the default refill size selection.
+func TestBufferedDefaultBatch(t *testing.T) {
+	if got := NewBuffered(1, 0).BatchSize(); got != DefaultBatch {
+		t.Fatalf("NewBuffered(.., 0) batch = %d, want DefaultBatch (%d)", got, DefaultBatch)
+	}
+	if got := NewBuffered(1, -3).BatchSize(); got != DefaultBatch {
+		t.Fatalf("NewBuffered(.., -3) batch = %d, want DefaultBatch (%d)", got, DefaultBatch)
+	}
+}
+
+// TestFillMatchesUint64 checks Source.Fill directly: one bulk refill must
+// produce the same values and leave the same generator state as the
+// equivalent sequence of Uint64 calls.
+func TestFillMatchesUint64(t *testing.T) {
+	a := New(0xABCD)
+	b := New(0xABCD)
+	got := make([]uint64, 257)
+	a.Fill(got)
+	for i := range got {
+		if want := b.Uint64(); got[i] != want {
+			t.Fatalf("Fill[%d] = %#x, want %#x", i, got[i], want)
+		}
+	}
+	// State converged: the next draws agree too.
+	for i := 0; i < 16; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("post-Fill draw %d: %#x != %#x", i, x, y)
+		}
+	}
+}

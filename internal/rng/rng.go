@@ -54,6 +54,24 @@ func (s *Source) Uint64() uint64 {
 	return x + y
 }
 
+// Fill overwrites dst with the next len(dst) Uint64 draws, leaving the
+// generator in exactly the state len(dst) Uint64 calls would. The loop
+// keeps the xorshift state in registers across the whole batch instead of
+// loading and storing it per draw — the refill half of the Buffered
+// wrapper's bargain.
+func (s *Source) Fill(dst []uint64) {
+	x, y := s.s0, s.s1
+	for i := range dst {
+		t := x
+		t ^= t << 23
+		t ^= t >> 17
+		t ^= y ^ (y >> 26)
+		dst[i] = t + y
+		x, y = y, t
+	}
+	s.s0, s.s1 = x, y
+}
+
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (s *Source) Intn(n int) int {
 	if n <= 0 {
@@ -125,6 +143,16 @@ func GeometricThreshold(mean float64) uint64 {
 	return uint64(math.Ceil((1 / mean) * (1 << 53)))
 }
 
+// GeometricMaxTrials caps the trial loop in GeometricT (and therefore
+// Geometric): a sample never exceeds this value, and a capped sample
+// consumes exactly GeometricMaxTrials-1 draws. The cap only binds when the
+// per-trial success probability is pathologically small (mean ≳ 2^53 — a
+// threshold of 0 draws nothing at all) and exists so a corrupt or
+// adversarial threshold cannot spin the generator forever. The cap value
+// is part of the draw-count contract: changing it would silently shift
+// every downstream draw, so it is pinned by TestGeometricTCapPinned.
+const GeometricMaxTrials = 1 << 20
+
 // GeometricT samples the geometric distribution whose threshold t was
 // produced by GeometricThreshold.
 func (s *Source) GeometricT(t uint64) int {
@@ -134,7 +162,7 @@ func (s *Source) GeometricT(t uint64) int {
 	n := 1
 	for s.Uint64()>>11 >= t {
 		n++
-		if n >= 1<<20 {
+		if n >= GeometricMaxTrials {
 			break
 		}
 	}

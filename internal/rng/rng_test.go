@@ -129,6 +129,55 @@ func TestGeometricMinimum(t *testing.T) {
 	}
 }
 
+// TestGeometricTCapPinned pins the GeometricMaxTrials cap behavior: a
+// threshold so small that no trial can succeed returns exactly the cap and
+// consumes exactly cap-1 draws. The draw count is the load-bearing part —
+// every downstream draw shifts if the cap moves — so the test counts draws
+// by diffing against a shadow source.
+func TestGeometricTCapPinned(t *testing.T) {
+	if GeometricMaxTrials != 1<<20 {
+		t.Fatalf("GeometricMaxTrials = %d, want %d (changing it shifts every draw after a capped sample)",
+			GeometricMaxTrials, 1<<20)
+	}
+	// t=1 succeeds only on a draw of u53 == 0: with ~2^-53 odds per trial,
+	// the capped path is (for any practical stream) always taken. Verify
+	// against the seed used here that no trial succeeded early.
+	s := New(31337)
+	if got := s.GeometricT(1); got != GeometricMaxTrials {
+		t.Fatalf("GeometricT(1) = %d, want the GeometricMaxTrials cap (%d)", got, GeometricMaxTrials)
+	}
+	// Draw-count pin: the capped sample consumed exactly cap-1 draws
+	// (trial n fails and increments n, loop exits when n reaches the cap).
+	shadow := New(31337)
+	for i := 0; i < GeometricMaxTrials-1; i++ {
+		shadow.Uint64()
+	}
+	if a, b := s.Uint64(), shadow.Uint64(); a != b {
+		t.Fatalf("capped GeometricT consumed a different number of draws: next draw %#x, want %#x", a, b)
+	}
+	// The buffered wrapper shares the cap and the draw count.
+	bs := NewBuffered(31337, 64)
+	if got := bs.GeometricT(1); got != GeometricMaxTrials {
+		t.Fatalf("Buffered.GeometricT(1) = %d, want %d", got, GeometricMaxTrials)
+	}
+	shadow.Seed(31337)
+	for i := 0; i < GeometricMaxTrials-1; i++ {
+		shadow.Uint64()
+	}
+	if a, b := bs.Uint64(), shadow.Uint64(); a != b {
+		t.Fatalf("Buffered capped GeometricT consumed a different number of draws: next draw %#x, want %#x", a, b)
+	}
+	// A zero threshold (mean <= 1) draws nothing at all.
+	s.Seed(5)
+	shadow.Seed(5)
+	if got := s.GeometricT(0); got != 1 {
+		t.Fatalf("GeometricT(0) = %d, want 1", got)
+	}
+	if a, b := s.Uint64(), shadow.Uint64(); a != b {
+		t.Fatal("GeometricT(0) consumed a draw; it must consume none")
+	}
+}
+
 func TestRangeInclusive(t *testing.T) {
 	s := New(19)
 	seenLo, seenHi := false, false

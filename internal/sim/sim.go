@@ -62,7 +62,10 @@ func New(cfg *config.Config, prof trace.Profile) (*Simulator, error) {
 	}
 	plan := floorplan.Build(cfg.Plan)
 	meter := power.NewMeter(plan, cfg)
-	pipe := pipeline.New(cfg, plan, meter, trace.NewGenerator(prof))
+	pipe, err := pipeline.New(cfg, plan, meter, trace.NewGenerator(prof))
+	if err != nil {
+		return nil, err
+	}
 	th, err := thermal.New(plan, cfg)
 	if err != nil {
 		return nil, err

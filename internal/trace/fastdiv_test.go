@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestFastModExact verifies the magic-number reduction against the hardware
+// remainder: the generator's draw-to-index mapping must be bit-identical to
+// rng.Intn's `%`, for every divisor a profile can produce and for
+// adversarial ones (primes, Mersenne, pow2±1, tiny, huge).
+func TestFastModExact(t *testing.T) {
+	divisors := []uint64{
+		1, 2, 3, 4, 5, 6, 7, 9, 10, 11, 13, 60, 64, 100, 127, 128, 129,
+		641, 1000, 4093, 4096, 1 << 20, 1<<20 - 1, 1<<20 + 1,
+		1<<31 - 1, 1 << 31, 1<<31 + 1, 1<<33 + 7,
+		1<<62 - 1, 1 << 62, ^uint64(0) >> 1, ^uint64(0) - 1, ^uint64(0),
+	}
+	// Profile-derived divisors actually used by generators.
+	for _, p := range Profiles() {
+		divisors = append(divisors,
+			uint64(p.WarmSetBytes/8), uint64(p.HotSetBytes/8), uint64(p.BranchSites))
+	}
+	r := rng.New(0xfa57d1f)
+	for _, n := range divisors {
+		f := newFastMod(n)
+		check := func(x uint64) {
+			t.Helper()
+			if got, want := f.mod(x), x%n; got != want {
+				t.Fatalf("fastMod(%d).mod(%#x) = %d, want %d", n, x, got, want)
+			}
+		}
+		// Structured inputs: extremes and quotient boundaries.
+		for _, x := range []uint64{0, 1, 2, n - 1, n, n + 1, 2*n - 1, 2 * n,
+			^uint64(0), ^uint64(0) - 1, ^uint64(0) - (n - 1)} {
+			check(x)
+		}
+		for k := uint64(1); k < 66; k++ {
+			x := n * k
+			check(x - 1)
+			check(x)
+			check(x + 1)
+		}
+		// Random sweep.
+		for i := 0; i < 200000; i++ {
+			check(r.Uint64())
+		}
+	}
+}
+
+// TestFastModMatchesIntn pins the end-to-end equivalence on the consumer
+// side: reducing a draw with fastMod equals what rng.Intn would have
+// returned for the same draw.
+func TestFastModMatchesIntn(t *testing.T) {
+	for _, n := range []int{3, 60, 1000, 12345, 1 << 16, 999983} {
+		f := newFastMod(uint64(n))
+		a := rng.NewBuffered(42, 64)
+		b := rng.NewBuffered(42, 64)
+		for i := 0; i < 10000; i++ {
+			got := int(f.mod(a.Uint64()))
+			want := b.Intn(n)
+			if got != want {
+				t.Fatalf("n=%d draw %d: fastMod %d, Intn %d", n, i, got, want)
+			}
+		}
+	}
+}

@@ -10,7 +10,13 @@ import (
 // different machine configurations can be compared on identical work.
 type Generator struct {
 	prof Profile
-	r    *rng.Source
+	// r is a buffered draw source: raw 64-bit draws are produced rngBatch
+	// at a time (state stays in registers across the refill loop) and
+	// consumed one per probability trial. Buffering is read-ahead only —
+	// the draw count and order are bit-identical to an unbuffered
+	// rng.Source (see rng.Buffered), which TestGeneratorDrawOrderPinned
+	// pins end to end.
+	r *rng.Buffered
 
 	seq     uint64
 	pc      uint64
@@ -66,6 +72,11 @@ type Generator struct {
 	// register draw.
 	tDep, tAddr uint64
 
+	// Magic-number reductions for the fixed divisors on the per-draw
+	// path: working-set word counts (memAddr) and the branch-site count.
+	// Bit-identical to rng.Intn's `%` (see fastdiv.go), minus the DIV.
+	warmMod, hotMod, siteMod fastMod
+
 	// Decoded-instruction ring: refill generates genBatch instructions in
 	// one tight pass (same rng draw order as one-at-a-time generation, so
 	// the stream is byte-identical), and Peek/Advance hand them out
@@ -82,6 +93,12 @@ type Generator struct {
 // overhead, small enough that read-ahead stays a fraction of a sensor
 // interval.
 const genBatch = 64
+
+// rngBatch is the raw-draw refill size for the generator's buffered rng:
+// one decoded-op refill consumes a few draws per instruction, so 256 draws
+// (2 KiB) covers roughly one genBatch pass per refill without spilling out
+// of L1.
+const rngBatch = 256
 
 const (
 	histLen   = 64           // register-history ring; must stay a power of two (indexed by & (histLen-1))
@@ -106,13 +123,18 @@ func NewGenerator(p Profile) *Generator {
 	}
 	g := &Generator{
 		prof:    p,
-		r:       rng.New(p.Seed),
+		r:       rng.NewBuffered(p.Seed, rngBatch),
 		intHist: make([]int8, histLen),
 		fpHist:  make([]int8, histLen),
 	}
 	for i := range g.intHist {
 		g.intHist[i] = int8(i % isa.NumIntRegs)
 		g.fpHist[i] = int8(i % isa.NumFPRegs)
+	}
+	g.warmMod = newFastMod(uint64(p.WarmSetBytes / 8))
+	g.hotMod = newFastMod(uint64(p.HotSetBytes / 8))
+	if p.BranchSites > 0 {
+		g.siteMod = newFastMod(uint64(p.BranchSites))
 	}
 	g.sitePCs = make([]uint64, p.BranchSites)
 	g.siteBias = make([]float64, p.BranchSites)
@@ -217,11 +239,18 @@ func (g *Generator) histAt(hist []int8, d int) int8 {
 	return hist[(int(g.seq)+histLen-d)&(histLen-1)]
 }
 
+// Register-file sizes must be powers of two so destReg's round-robin
+// wrap is a mask rather than a divide on the per-instruction path.
+var (
+	_ [0]struct{} = [isa.NumIntRegs & (isa.NumIntRegs - 1)]struct{}{}
+	_ [0]struct{} = [isa.NumFPRegs & (isa.NumFPRegs - 1)]struct{}{}
+)
+
 // destReg allocates the next destination register round-robin, recording
 // it in the history ring.
 func (g *Generator) destReg(hist []int8, nregs int) int8 {
 	g.nextReg++
-	reg := int8(g.nextReg % nregs)
+	reg := int8(g.nextReg & (nregs - 1)) // nregs is a power of two (asserted above)
 	hist[int(g.seq)&(histLen-1)] = reg
 	return reg
 }
@@ -252,9 +281,9 @@ func (g *Generator) memAddr() uint64 {
 		g.coldPtr += 8
 		return ColdBase + g.coldPtr
 	case x < g.tColdWarm:
-		return warmBase + uint64(g.r.Intn(g.prof.WarmSetBytes/8))*8
+		return warmBase + g.warmMod.mod(g.r.Uint64())*8
 	default:
-		return hotBase + uint64(g.r.Intn(g.prof.HotSetBytes/8))*8
+		return hotBase + g.hotMod.mod(g.r.Uint64())*8
 	}
 }
 
@@ -357,7 +386,7 @@ func (g *Generator) genOne(in *isa.Inst) {
 			}
 			site = g.siteCursor
 		} else {
-			site = g.r.Intn(len(g.sitePCs))
+			site = int(g.siteMod.mod(g.r.Uint64()))
 		}
 		in.PC = g.sitePCs[site]
 		in.Src1 = g.srcReg(g.intHist)
