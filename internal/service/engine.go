@@ -4,13 +4,21 @@
 // states. One Engine is shared by the HTTP daemon (cmd/pipethermd) and
 // the in-process matrix path (cmd/experiments -cache-dir).
 //
+// Dispatch is sharded (shard.go): jobs hash by key onto per-shard
+// queues and job-map slices, each worker drains its own shard and
+// steals from the busiest sibling when idle, and aggregate queue
+// capacity is one atomic reservation counter — so a burst of
+// submissions on a many-core host never serializes on a global lock,
+// while the observable semantics (single-flight, 429 at QueueDepth,
+// all-or-nothing batch admission, journal ordering) are unchanged.
+//
 // Fault tolerance: every job attempt runs under recover(), so a
 // panicking cell fails only that job (the stack lands in
 // JobStatus.Error) while the workers keep serving; a key that keeps
 // panicking is quarantined — failed permanently, never retried — after
 // QuarantineAfter attempts; transient failures (job timeout, injected
-// I/O errors) retry with exponential backoff and jitter up to
-// MaxRetries; and with a journal attached, submit/done/failed
+// I/O errors) retry with exponential backoff and per-worker-rng jitter
+// up to MaxRetries; and with a journal attached, submit/done/failed
 // transitions are WAL-logged so queued and interrupted jobs survive a
 // crash and are replayed on the next start (see DESIGN.md, "Failure
 // model and recovery").
@@ -22,7 +30,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -35,6 +42,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/multicore"
 	"repro/internal/pipeline"
+	"repro/internal/rng"
 	"repro/internal/runner"
 	"repro/internal/sim"
 )
@@ -63,12 +71,13 @@ var ErrQueueFull = errors.New("service: job queue full")
 var ErrShutdown = errors.New("service: engine shutting down")
 
 // Job is one submitted cell. All mutable fields are guarded by the
-// engine mutex; callers read them through Status snapshots or after
-// Wait.
+// home shard's mutex; callers read them through Status snapshots or
+// after Wait.
 type Job struct {
 	Key string
 	Req Request
 
+	home       *shard
 	state      JobState
 	cached     bool
 	resultJSON []byte
@@ -77,6 +86,15 @@ type Job struct {
 	panics     int           // recovered panics for this job's key
 	done       chan struct{} // closed on done/failed/quarantined
 }
+
+// closedDone is the shared pre-closed settle channel for jobs born
+// settled (cache hits, restored quarantine markers): <-j.done behaves
+// identically and the per-hit channel allocation disappears.
+var closedDone = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
 
 // JobStatus is an immutable snapshot of a job, in the wire shape the
 // HTTP API serves. Result holds the exact cached bytes, so identical
@@ -126,8 +144,13 @@ type EngineConfig struct {
 	// Workers is the simulation worker count; <= 0 means one per CPU
 	// (runner.Resolve semantics).
 	Workers int
-	// QueueDepth bounds the number of jobs waiting to run; <= 0 means 64.
-	// Submissions beyond it fail with ErrQueueFull.
+	// Shards is the dispatcher shard count; <= 0 means one per worker —
+	// the production shape, where every worker owns a shard. Exposed so
+	// tests can pin hashing behavior.
+	Shards int
+	// QueueDepth bounds the number of jobs waiting to run, in aggregate
+	// across all shards; <= 0 means 64. Submissions beyond it fail with
+	// ErrQueueFull.
 	QueueDepth int
 	// JobTimeout cancels a single cell run after this long; <= 0 means
 	// no per-job timeout. A timed-out attempt counts as transient and
@@ -148,6 +171,9 @@ type EngineConfig struct {
 	// QuarantineAfter is how many recovered panics a job key may
 	// accumulate before it is quarantined; <= 0 means 3.
 	QuarantineAfter int
+	// JitterSeed seeds the per-worker retry-jitter rngs (jitterSeed
+	// derivation in shard.go); 0 means defaultJitterSeed.
+	JitterSeed uint64
 
 	// Journal, when non-nil, makes job transitions durable: submits are
 	// WAL-logged before enqueue, terminal states on settle, and Replay
@@ -168,22 +194,24 @@ type EngineConfig struct {
 
 // Metrics is the engine's counter snapshot, served at /metrics.
 type Metrics struct {
-	UptimeSeconds   float64    `json:"uptime_seconds"`
-	JobsQueued      int        `json:"jobs_queued"`
-	JobsRunning     int        `json:"jobs_running"`
-	JobsCompleted   uint64     `json:"jobs_completed"`
-	JobsFailed      uint64     `json:"jobs_failed"`
-	JobsDeduped     uint64     `json:"jobs_deduped"`
-	JobsRetried     uint64     `json:"jobs_retried"`
-	JobPanics       uint64     `json:"job_panics"`
-	JobsQuarantined uint64     `json:"jobs_quarantined"`
-	JournalErrors   uint64     `json:"journal_errors"`
-	Ready           bool       `json:"ready"`
-	CacheHits       uint64     `json:"cache_hits"`
-	CacheMisses     uint64     `json:"cache_misses"`
-	CacheEntries    int        `json:"cache_entries"`
-	CellsPerSecond  float64    `json:"cells_per_second"`
-	Cache           CacheStats `json:"cache"`
+	UptimeSeconds   float64        `json:"uptime_seconds"`
+	JobsQueued      int            `json:"jobs_queued"`
+	JobsRunning     int            `json:"jobs_running"`
+	JobsCompleted   uint64         `json:"jobs_completed"`
+	JobsFailed      uint64         `json:"jobs_failed"`
+	JobsDeduped     uint64         `json:"jobs_deduped"`
+	JobsRetried     uint64         `json:"jobs_retried"`
+	JobPanics       uint64         `json:"job_panics"`
+	JobsQuarantined uint64         `json:"jobs_quarantined"`
+	JobsStolen      uint64         `json:"jobs_stolen"`
+	JournalErrors   uint64         `json:"journal_errors"`
+	Ready           bool           `json:"ready"`
+	CacheHits       uint64         `json:"cache_hits"`
+	CacheMisses     uint64         `json:"cache_misses"`
+	CacheEntries    int            `json:"cache_entries"`
+	CellsPerSecond  float64        `json:"cells_per_second"`
+	Cache           CacheStats     `json:"cache"`
+	Shards          []ShardMetrics `json:"shards"`
 
 	// Runtime is the Go runtime health section: memory, GC, and
 	// goroutine gauges for the serving process.
@@ -196,6 +224,11 @@ type Metrics struct {
 	// Multicore aggregates the multi-core scheduling runs this process
 	// computed, with the same cache-hit exclusion as Utilization.
 	Multicore MulticoreMetrics `json:"multicore"`
+}
+
+// ShardMetrics is one dispatcher shard's gauge slice of /metrics.
+type ShardMetrics struct {
+	QueueDepth int `json:"queue_depth"`
 }
 
 // RuntimeMetrics is the Go runtime section of /metrics.
@@ -237,7 +270,6 @@ type MulticoreMetrics struct {
 // Engine runs jobs. Create with NewEngine, stop with Shutdown.
 type Engine struct {
 	cache      *Cache
-	queue      chan *Job
 	jobTimeout time.Duration
 
 	// Fault-tolerance knobs (see EngineConfig).
@@ -248,12 +280,27 @@ type Engine struct {
 	journal         *journal.Journal
 	inj             *faultinject.Injector
 
-	mu          sync.Mutex
-	jobs        map[string]*Job
-	batches     map[string]*Batch
-	panicCounts map[string]int // recovered panics per job key
-	closed      bool
+	// The sharded dispatcher (shard.go). depth is the aggregate queue
+	// capacity; queued counts reserved slots across all shards; wakeCh
+	// carries work-available tokens to idle workers; spaceCh nudges the
+	// blocking journal-replay submitter when capacity frees.
+	shards  []*shard
+	workers []*workerState
+	depth   int
+	queued  atomic.Int64
+	wakeCh  chan struct{}
+	spaceCh chan struct{}
+	stopCh  chan struct{}
 
+	// Batches are rare and aggregate many shards, so they keep a
+	// conventional mutex; batch admission locks batchMu, then every
+	// shard in index order (the one place the engine still has a global
+	// critical section — by design, it is what makes admission atomic).
+	batchMu      sync.Mutex
+	batches      map[string]*Batch
+	batchDeduped uint64
+
+	closed   atomic.Bool
 	closing  atomic.Bool
 	draining atomic.Bool // readiness off ahead of shutdown (BeginDrain)
 	replayed atomic.Bool // journal replay finished (true when no journal)
@@ -263,28 +310,7 @@ type Engine struct {
 
 	start       time.Time
 	running     atomic.Int64
-	completed   atomic.Uint64
-	failed      atomic.Uint64
-	deduped     atomic.Uint64
-	retries     atomic.Uint64
-	panicsTotal atomic.Uint64
-	quarantined atomic.Uint64
 	journalErrs atomic.Uint64
-
-	// Utilization accumulator over freshly simulated cells (sums; the
-	// Metrics snapshot divides by utilN). Guarded by utilMu, not the job
-	// mutex: finish() folds results in from worker goroutines.
-	utilMu  sync.Mutex
-	utilN   uint64
-	utilSum UtilizationMetrics
-
-	// Multicore accumulator over freshly computed scheduling runs.
-	// mcSum's per-core vectors hold sums (peaks hold maxima); mcCoreN[i]
-	// counts the runs wide enough to include core i, so the snapshot can
-	// average mixed core counts per slot.
-	mcMu    sync.Mutex
-	mcSum   MulticoreMetrics
-	mcCoreN []uint64
 
 	// runCell executes one cell and returns its canonical result JSON.
 	// Tests replace it with a controllable stub; production uses runCell.
@@ -318,10 +344,17 @@ func NewEngine(cfg EngineConfig) *Engine {
 	if cfg.QuarantineAfter <= 0 {
 		cfg.QuarantineAfter = 3
 	}
+	if cfg.JitterSeed == 0 {
+		cfg.JitterSeed = defaultJitterSeed
+	}
+	workers := runner.Resolve(cfg.Workers, 0)
+	nshards := cfg.Shards
+	if nshards <= 0 {
+		nshards = workers
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
 		cache:           cache,
-		queue:           make(chan *Job, cfg.QueueDepth),
 		jobTimeout:      cfg.JobTimeout,
 		maxRetries:      cfg.MaxRetries,
 		retryBase:       cfg.RetryBase,
@@ -329,9 +362,11 @@ func NewEngine(cfg EngineConfig) *Engine {
 		quarantineAfter: cfg.QuarantineAfter,
 		journal:         cfg.Journal,
 		inj:             cfg.Inject,
-		jobs:            make(map[string]*Job),
+		depth:           cfg.QueueDepth,
+		wakeCh:          make(chan struct{}, cfg.QueueDepth),
+		spaceCh:         make(chan struct{}, 1),
+		stopCh:          make(chan struct{}),
 		batches:         make(map[string]*Batch),
-		panicCounts:     make(map[string]int),
 		baseCtx:         ctx,
 		cancel:          cancel,
 		start:           time.Now(),
@@ -340,17 +375,27 @@ func NewEngine(cfg EngineConfig) *Engine {
 	if cfg.runFunc != nil {
 		e.run = cfg.runFunc
 	}
+	e.shards = make([]*shard, nshards)
+	for i := range e.shards {
+		e.shards[i] = &shard{
+			jobs:        make(map[string]*Job),
+			panicCounts: make(map[string]int),
+		}
+	}
+	e.workers = make([]*workerState, workers)
+	for i := range e.workers {
+		e.workers[i] = &workerState{rng: rng.New(jitterSeed(cfg.JitterSeed, i))}
+	}
 	e.replayed.Store(true)
-	workers := runner.Resolve(cfg.Workers, 0)
 	for i := 0; i < workers; i++ {
 		e.wg.Add(1)
-		go e.worker()
+		go e.worker(i)
 	}
 	e.recoverJournal(cfg.Replay)
 	return e
 }
 
-// recover restores journaled state: quarantine markers become
+// recoverJournal restores journaled state: quarantine markers become
 // quarantined jobs, the log is compacted to the live set, and pending
 // submits are resubmitted in the background (readiness is withheld
 // until they are all enqueued; their results then arrive through the
@@ -363,11 +408,13 @@ func (e *Engine) recoverJournal(recs []journal.Record) {
 	for _, rec := range quarantined {
 		var req Request
 		json.Unmarshal(rec.Req, &req) // best-effort: old markers may lack the request
-		j := &Job{Key: rec.Key, Req: req, state: JobQuarantined,
-			err: errors.New(rec.Err), panics: e.quarantineAfter, done: make(chan struct{})}
-		close(j.done)
-		e.jobs[rec.Key] = j
-		e.panicCounts[rec.Key] = e.quarantineAfter
+		sh := e.shardFor(rec.Key)
+		j := &Job{Key: rec.Key, Req: req, home: sh, state: JobQuarantined,
+			err: errors.New(rec.Err), panics: e.quarantineAfter, done: closedDone}
+		sh.mu.Lock()
+		sh.jobs[rec.Key] = j
+		sh.panicCounts[rec.Key] = e.quarantineAfter
+		sh.mu.Unlock()
 	}
 	compact := append(append([]journal.Record{}, quarantined...), pending...)
 	if err := e.journal.Rewrite(compact); err != nil {
@@ -379,8 +426,10 @@ func (e *Engine) recoverJournal(recs []journal.Record) {
 	}
 }
 
-// replayPending resubmits journaled pending jobs, blocking past a full
-// queue (10ms probes) rather than dropping recovered work.
+// replayPending resubmits journaled pending jobs. A full queue blocks
+// on the capacity-freed signal rather than polling, so recovered work
+// admits the moment a slot opens and /readyz flips as soon as the last
+// replay lands.
 func (e *Engine) replayPending(pending []journal.Record) {
 	defer e.replayed.Store(true)
 	for _, rec := range pending {
@@ -393,10 +442,8 @@ func (e *Engine) replayPending(pending []journal.Record) {
 			if err == nil {
 				// Replay-from-cache: the run completed before the crash
 				// but its done record was lost; settle the journal now.
-				e.mu.Lock()
-				cachedDone := j.state == JobDone && j.cached
-				e.mu.Unlock()
-				if cachedDone {
+				st := j.snapshot()
+				if st.State == JobDone && st.Cached {
 					e.journalAppend(journal.Record{Op: journal.OpDone, Key: j.Key})
 				}
 				break
@@ -405,7 +452,7 @@ func (e *Engine) replayPending(pending []journal.Record) {
 				break // invalid under current config, or engine shut down
 			}
 			select {
-			case <-time.After(10 * time.Millisecond):
+			case <-e.spaceCh:
 			case <-e.baseCtx.Done():
 				return
 			}
@@ -424,34 +471,23 @@ func (e *Engine) journalAppend(r journal.Record) {
 	}
 }
 
-func (e *Engine) worker() {
-	defer e.wg.Done()
-	for j := range e.queue {
-		if e.closing.Load() {
-			// Graceful shutdown drains *running* jobs; queued ones fail
-			// fast so clients can resubmit elsewhere.
-			e.finish(j, nil, ErrShutdown)
-			continue
-		}
-		e.runJob(j)
-	}
-}
-
-func (e *Engine) runJob(j *Job) {
-	e.mu.Lock()
+func (e *Engine) runJob(id int, j *Job) {
+	h := j.home
+	h.mu.Lock()
 	j.state = JobRunning
-	e.mu.Unlock()
+	h.mu.Unlock()
 	e.running.Add(1)
 	defer e.running.Add(-1)
 
+	w := e.workers[id]
 	for attempt := 0; ; attempt++ {
-		e.mu.Lock()
+		h.mu.Lock()
 		j.attempts = attempt + 1
-		e.mu.Unlock()
+		h.mu.Unlock()
 		data, err := e.attempt(j)
 		if err == nil {
 			e.cache.Put(j.Key, data)
-			e.finish(j, data, nil)
+			e.finish(id, j, data, nil)
 			return
 		}
 		var pe *panicError
@@ -459,28 +495,32 @@ func (e *Engine) runJob(j *Job) {
 			// A panic fails only this job; the worker survives. The
 			// per-key counter quarantines deterministic crashers instead
 			// of retrying them forever.
-			e.panicsTotal.Add(1)
-			e.mu.Lock()
+			w.statsMu.Lock()
+			w.stats.panics++
+			w.statsMu.Unlock()
+			h.mu.Lock()
 			j.panics++
-			e.panicCounts[j.Key]++
-			n := e.panicCounts[j.Key]
-			e.mu.Unlock()
+			h.panicCounts[j.Key]++
+			n := h.panicCounts[j.Key]
+			h.mu.Unlock()
 			if n >= e.quarantineAfter {
-				e.quarantine(j, err)
+				e.quarantine(id, j, err)
 				return
 			}
 		} else if isShutdownErr(err) || !transient(err) {
-			e.finish(j, nil, err)
+			e.finish(id, j, nil, err)
 			return
 		} else if attempt >= e.maxRetries {
-			e.finish(j, nil, fmt.Errorf("after %d attempts: %w", attempt+1, err))
+			e.finish(id, j, nil, fmt.Errorf("after %d attempts: %w", attempt+1, err))
 			return
 		}
-		if e.closing.Load() || !e.backoff(attempt) {
-			e.finish(j, nil, err)
+		if e.closing.Load() || !e.backoff(id, attempt) {
+			e.finish(id, j, nil, err)
 			return
 		}
-		e.retries.Add(1)
+		w.statsMu.Lock()
+		w.stats.retries++
+		w.statsMu.Unlock()
 	}
 }
 
@@ -530,35 +570,20 @@ func isShutdownErr(err error) bool {
 	return errors.Is(err, ErrShutdown) || errors.Is(err, context.Canceled)
 }
 
-// backoff sleeps the exponential-backoff delay for attempt (0-based)
-// with jitter in [d/2, d], returning false if the engine shut down
-// while sleeping.
-func (e *Engine) backoff(attempt int) bool {
-	d := e.retryBase << uint(attempt)
-	if d <= 0 || d > e.retryMax {
-		d = e.retryMax
-	}
-	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return true
-	case <-e.baseCtx.Done():
-		return false
-	}
-}
-
 // quarantine permanently fails a job whose key keeps panicking and
 // journals the poison marker so it survives restarts.
-func (e *Engine) quarantine(j *Job, cause error) {
-	e.mu.Lock()
+func (e *Engine) quarantine(id int, j *Job, cause error) {
+	h := j.home
+	h.mu.Lock()
 	j.state = JobQuarantined
 	j.err = fmt.Errorf("quarantined after %d panics: %w", j.panics, cause)
 	msg := j.err.Error()
-	e.mu.Unlock()
-	e.quarantined.Add(1)
-	e.failed.Add(1)
+	h.mu.Unlock()
+	w := e.workers[id]
+	w.statsMu.Lock()
+	w.stats.quarantined++
+	w.stats.failed++
+	w.statsMu.Unlock()
 	rec := journal.Record{Op: journal.OpQuarantined, Key: j.Key, Err: msg}
 	if c, err := j.Req.Canonical(); err == nil {
 		rec.Req = c
@@ -567,101 +592,78 @@ func (e *Engine) quarantine(j *Job, cause error) {
 	close(j.done)
 }
 
-func (e *Engine) finish(j *Job, data []byte, err error) {
-	e.mu.Lock()
+func (e *Engine) finish(id int, j *Job, data []byte, err error) {
+	h := j.home
+	h.mu.Lock()
 	if err != nil {
 		j.state, j.err = JobFailed, err
 	} else {
 		j.state, j.resultJSON = JobDone, data
 	}
-	e.mu.Unlock()
+	h.mu.Unlock()
+	w := e.workers[id]
 	if err != nil {
-		e.failed.Add(1)
+		w.statsMu.Lock()
+		w.stats.failed++
+		w.statsMu.Unlock()
 		// Shutdown-interrupted jobs keep their pending journal record
 		// so the next start replays them; genuine failures are terminal.
 		if !isShutdownErr(err) && !e.closing.Load() {
 			e.journalAppend(journal.Record{Op: journal.OpFailed, Key: j.Key, Err: err.Error()})
 		}
 	} else {
-		e.completed.Add(1)
 		e.journalAppend(journal.Record{Op: journal.OpDone, Key: j.Key})
+		w.statsMu.Lock()
+		w.stats.completed++
 		if j.Req.Multicore != nil {
 			var r multicore.Result
 			if json.Unmarshal(data, &r) == nil {
-				e.addMulticore(&r)
+				addMulticoreLocked(&w.stats, &r)
 			}
 		} else {
 			var r sim.Result
 			if json.Unmarshal(data, &r) == nil {
-				e.addUtilization(r.Utilization)
+				addUtilizationLocked(&w.stats, r.Utilization)
 			}
 		}
+		w.statsMu.Unlock()
 	}
 	close(j.done)
 }
 
-// addUtilization folds one freshly simulated cell's utilization
-// telemetry into the engine-wide accumulator behind /metrics.
-func (e *Engine) addUtilization(u pipeline.Utilization) {
-	e.utilMu.Lock()
-	defer e.utilMu.Unlock()
-	e.utilN++
+// addUtilizationLocked folds one freshly simulated cell's utilization
+// telemetry into the worker's accumulator. Caller holds statsMu.
+func addUtilizationLocked(ws *workerStats, u pipeline.Utilization) {
+	ws.utilN++
 	for h := 0; h < 2; h++ {
-		e.utilSum.IntQHalfOcc[h] += u.IntQHalfOcc[h]
-		e.utilSum.FPQHalfOcc[h] += u.FPQHalfOcc[h]
+		ws.utilSum.IntQHalfOcc[h] += u.IntQHalfOcc[h]
+		ws.utilSum.FPQHalfOcc[h] += u.FPQHalfOcc[h]
 	}
-	e.utilSum.ALUGrantShare = addVec(e.utilSum.ALUGrantShare, u.ALUGrantShare)
-	e.utilSum.RFReadShare = addVec(e.utilSum.RFReadShare, u.RFReadShare)
+	ws.utilSum.ALUGrantShare = addVec(ws.utilSum.ALUGrantShare, u.ALUGrantShare)
+	ws.utilSum.RFReadShare = addVec(ws.utilSum.RFReadShare, u.RFReadShare)
 }
 
-// addMulticore folds one freshly computed scheduling run's per-core
-// telemetry into the engine-wide accumulator behind /metrics.
-func (e *Engine) addMulticore(r *multicore.Result) {
-	e.mcMu.Lock()
-	defer e.mcMu.Unlock()
-	e.mcSum.Runs++
-	e.mcSum.CoolingStalls += r.CoolingStalls
-	e.mcSum.Migrations += uint64(r.Migrations)
-	for len(e.mcCoreN) < len(r.PerCore) {
-		e.mcCoreN = append(e.mcCoreN, 0)
-		e.mcSum.CoreUtilization = append(e.mcSum.CoreUtilization, 0)
-		e.mcSum.CoreAvgTempK = append(e.mcSum.CoreAvgTempK, 0)
-		e.mcSum.CorePeakTempK = append(e.mcSum.CorePeakTempK, 0)
+// addMulticoreLocked folds one freshly computed scheduling run's
+// per-core telemetry into the worker's accumulator. Caller holds
+// statsMu.
+func addMulticoreLocked(ws *workerStats, r *multicore.Result) {
+	ws.mcSum.Runs++
+	ws.mcSum.CoolingStalls += r.CoolingStalls
+	ws.mcSum.Migrations += uint64(r.Migrations)
+	for len(ws.mcCoreN) < len(r.PerCore) {
+		ws.mcCoreN = append(ws.mcCoreN, 0)
+		ws.mcSum.CoreUtilization = append(ws.mcSum.CoreUtilization, 0)
+		ws.mcSum.CoreAvgTempK = append(ws.mcSum.CoreAvgTempK, 0)
+		ws.mcSum.CorePeakTempK = append(ws.mcSum.CorePeakTempK, 0)
 	}
 	for i, c := range r.PerCore {
-		e.mcCoreN[i]++
-		e.mcSum.CoreUtilization[i] += c.Utilization
-		e.mcSum.CoreAvgTempK[i] += c.AvgTempK
-		if c.PeakTempK > e.mcSum.CorePeakTempK[i] {
-			e.mcSum.CorePeakTempK[i] = c.PeakTempK
+		ws.mcCoreN[i]++
+		ws.mcSum.CoreUtilization[i] += c.Utilization
+		ws.mcSum.CoreAvgTempK[i] += c.AvgTempK
+		if c.PeakTempK > ws.mcSum.CorePeakTempK[i] {
+			ws.mcSum.CorePeakTempK[i] = c.PeakTempK
 		}
 	}
-}
-
-// multicoreSnapshot averages the accumulated per-run telemetry.
-func (e *Engine) multicoreSnapshot() MulticoreMetrics {
-	e.mcMu.Lock()
-	defer e.mcMu.Unlock()
-	out := MulticoreMetrics{
-		Runs:          e.mcSum.Runs,
-		CoolingStalls: e.mcSum.CoolingStalls,
-		Migrations:    e.mcSum.Migrations,
-	}
-	if len(e.mcCoreN) == 0 {
-		return out
-	}
-	out.CoreUtilization = make([]float64, len(e.mcCoreN))
-	out.CoreAvgTempK = make([]float64, len(e.mcCoreN))
-	out.CorePeakTempK = make([]float64, len(e.mcCoreN))
-	for i, n := range e.mcCoreN {
-		if n == 0 {
-			continue
-		}
-		out.CoreUtilization[i] = e.mcSum.CoreUtilization[i] / float64(n)
-		out.CoreAvgTempK[i] = e.mcSum.CoreAvgTempK[i] / float64(n)
-		out.CorePeakTempK[i] = e.mcSum.CorePeakTempK[i]
-	}
-	return out
 }
 
 // addVec accumulates b into a element-wise, growing a as needed.
@@ -706,9 +708,10 @@ func runCell(ctx context.Context, req Request) ([]byte, error) {
 // Submit registers the request and returns its job. The fast paths, in
 // order: an identical job already queued or running is shared
 // (single-flight); a cached result completes the job immediately; a
-// known done job is returned as-is. Otherwise the job is enqueued, or
-// ErrQueueFull is returned when the queue is at capacity. A previously
-// failed key is re-enqueued (failures are not cached).
+// known done job is returned as-is. Otherwise the job is enqueued on
+// its key's shard, or ErrQueueFull is returned when the aggregate
+// queue is at capacity. A previously failed key is re-enqueued
+// (failures are not cached).
 func (e *Engine) Submit(req Request) (*Job, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -718,52 +721,64 @@ func (e *Engine) Submit(req Request) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.submitLocked(key, req)
+	sh := e.shardFor(key)
+	sh.mu.Lock()
+	j, _, err := e.submitLocked(sh, key, req, false)
+	sh.mu.Unlock()
+	return j, err
 }
 
-func (e *Engine) submitLocked(key string, req Request) (*Job, error) {
-	if e.closed {
-		return nil, ErrShutdown
+// submitLocked is the admission path for one job; the caller holds
+// sh.mu. With reserved true (batch admission) the aggregate capacity
+// was claimed up front and enqueued reports whether this job actually
+// consumed a slot.
+func (e *Engine) submitLocked(sh *shard, key string, req Request, reserved bool) (j *Job, enqueued bool, err error) {
+	if e.closed.Load() {
+		return nil, false, ErrShutdown
 	}
-	if j, ok := e.jobs[key]; ok && (j.state == JobQueued || j.state == JobRunning) {
-		e.deduped.Add(1)
-		return j, nil
+	if j, ok := sh.jobs[key]; ok && (j.state == JobQueued || j.state == JobRunning) {
+		sh.deduped++
+		return j, false, nil
 	}
-	if j, ok := e.jobs[key]; ok && j.state == JobQuarantined {
+	if j, ok := sh.jobs[key]; ok && j.state == JobQuarantined {
 		// Poisoned input: permanently failed, never re-enqueued.
-		return j, nil
+		return j, false, nil
 	}
 	if data, ok := e.cache.Get(key); ok {
-		j := &Job{Key: key, Req: req, state: JobDone, cached: true, resultJSON: data, done: make(chan struct{})}
-		close(j.done)
-		e.jobs[key] = j
-		return j, nil
+		if j, ok := sh.jobs[key]; ok && j.state == JobDone && j.cached {
+			// Repeat hit: results are deterministic, so the bytes are the
+			// job's bytes — reuse it instead of allocating a twin.
+			return j, false, nil
+		}
+		j := &Job{Key: key, Req: req, home: sh, state: JobDone, cached: true, resultJSON: data, done: closedDone}
+		sh.jobs[key] = j
+		return j, false, nil
 	}
-	if j, ok := e.jobs[key]; ok && j.state == JobDone {
+	if j, ok := sh.jobs[key]; ok && j.state == JobDone {
 		// Done but evicted from the cache: still serve the job's bytes.
-		return j, nil
+		return j, false, nil
 	}
-	// Capacity check before the WAL append: under e.mu only workers
-	// touch the queue, and they only drain it, so room observed here
-	// cannot vanish before the send below.
-	if len(e.queue) == cap(e.queue) {
-		return nil, ErrQueueFull
+	if !reserved && !e.reserveSlots(1) {
+		return nil, false, ErrQueueFull
 	}
-	j := &Job{Key: key, Req: req, state: JobQueued, done: make(chan struct{})}
+	j = &Job{Key: key, Req: req, home: sh, state: JobQueued, done: make(chan struct{})}
+	// Journal ordering: the submit record lands before the job becomes
+	// runnable, so a crash between the two replays rather than loses it.
 	if c, err := req.Canonical(); err == nil {
 		e.journalAppend(journal.Record{Op: journal.OpSubmit, Key: key, Req: c})
 	}
-	e.queue <- j
-	e.jobs[key] = j
-	return j, nil
+	sh.push(j)
+	sh.jobs[key] = j
+	e.signalWork()
+	return j, true, nil
 }
 
 // SubmitBatch expands the batch into cell jobs and registers an
-// aggregate batch job. All cells are admitted atomically: if the free
-// queue capacity cannot hold every cell that actually needs to run, the
-// whole batch is rejected with ErrQueueFull and nothing is enqueued.
+// aggregate batch job. All cells are admitted atomically: the batch
+// reserves every needed queue slot in one operation while holding all
+// shard locks, so either every cell that needs to run is enqueued or
+// the whole batch is rejected with ErrQueueFull and nothing is
+// enqueued — no concurrent submitter can wedge a batch half in.
 func (e *Engine) SubmitBatch(breq BatchRequest) (*Batch, error) {
 	key, err := breq.Key()
 	if err != nil {
@@ -773,54 +788,76 @@ func (e *Engine) SubmitBatch(breq BatchRequest) (*Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, c := range cells {
+	keys := make([]string, len(cells))
+	for i, c := range cells {
 		if err := c.Validate(); err != nil {
 			return nil, err
 		}
+		if keys[i], err = c.Key(); err != nil {
+			return nil, err
+		}
 	}
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
+	e.batchMu.Lock()
+	defer e.batchMu.Unlock()
+	if e.closed.Load() {
 		return nil, ErrShutdown
 	}
 	if b, ok := e.batches[key]; ok && b.state != JobFailed {
-		e.deduped.Add(1)
+		e.batchDeduped++
 		return b, nil
 	}
 
-	// Admission check: count cells that would need a queue slot.
-	need := 0
-	keys := make([]string, len(cells))
-	for i, c := range cells {
-		k, err := c.Key()
-		if err != nil {
-			return nil, err
+	// Admission: count the cells that need a queue slot with every
+	// shard locked (freezing job states and the queues), then claim
+	// that many slots in one atomic reservation. Workers may free
+	// capacity concurrently — that only helps — but no submitter can
+	// take it: they would need a shard lock we hold.
+	for _, s := range e.shards {
+		s.mu.Lock()
+	}
+	unlock := func() {
+		for _, s := range e.shards {
+			s.mu.Unlock()
 		}
-		keys[i] = k
-		j, known := e.jobs[k]
+	}
+	need := 0
+	for i := range cells {
+		sh := e.shardFor(keys[i])
+		j, known := sh.jobs[keys[i]]
 		inFlight := known && j.state != JobFailed
-		if !inFlight && !e.cache.Contains(k) {
+		if !inFlight && !e.cache.Contains(keys[i]) {
 			need++
 		}
 	}
-	if need > cap(e.queue)-len(e.queue) {
+	if !e.reserveSlots(need) {
+		unlock()
 		return nil, ErrQueueFull
 	}
 
 	b := &Batch{Key: key, Spec: spec, state: JobQueued, done: make(chan struct{})}
 	b.cells = make([]*Job, len(cells))
+	used := 0
 	for i, c := range cells {
-		j, err := e.submitLocked(keys[i], c)
+		sh := e.shardFor(keys[i])
+		j, enq, err := e.submitLocked(sh, keys[i], c, true)
 		if err != nil {
-			// Cannot happen after the admission check, but fail closed.
+			// Cannot happen after the admission check, but fail closed:
+			// release the unused reservation and surface the error.
+			e.releaseSlot(need - used)
+			unlock()
 			b.state, b.err = JobFailed, err
 			close(b.done)
 			e.batches[key] = b
 			return nil, err
 		}
+		if enq {
+			used++
+		}
 		b.cells[i] = j
 	}
+	e.releaseSlot(need - used) // cells deduped inside the batch, if any
+	unlock()
 	e.batches[key] = b
 	go e.aggregate(b)
 	return b, nil
@@ -832,15 +869,16 @@ func (e *Engine) aggregate(b *Batch) {
 	for _, j := range b.cells {
 		<-j.done
 	}
-	e.mu.Lock()
+	e.batchMu.Lock()
 	b.state = JobDone
 	for _, j := range b.cells {
+		// Settled before close(done), so the read is ordered.
 		if j.err != nil {
 			b.state, b.err = JobFailed, j.err
 			break
 		}
 	}
-	e.mu.Unlock()
+	e.batchMu.Unlock()
 	close(b.done)
 }
 
@@ -848,14 +886,14 @@ func (e *Engine) aggregate(b *Batch) {
 // fall back to the cache (content-addressed, so a daemon restarted over
 // a warm disk cache still answers for completed jobs).
 func (e *Engine) Job(key string) (JobStatus, bool) {
-	e.mu.Lock()
-	j, ok := e.jobs[key]
-	if ok {
-		st := e.statusLocked(j)
-		e.mu.Unlock()
+	sh := e.shardFor(key)
+	sh.mu.Lock()
+	if j, ok := sh.jobs[key]; ok {
+		st := statusLocked(j)
+		sh.mu.Unlock()
 		return st, true
 	}
-	e.mu.Unlock()
+	sh.mu.Unlock()
 	if !isKey(key) {
 		return JobStatus{}, false
 	}
@@ -865,7 +903,15 @@ func (e *Engine) Job(key string) (JobStatus, bool) {
 	return JobStatus{}, false
 }
 
-func (e *Engine) statusLocked(j *Job) JobStatus {
+// snapshot returns the job's status under its home shard lock.
+func (j *Job) snapshot() JobStatus {
+	j.home.mu.Lock()
+	defer j.home.mu.Unlock()
+	return statusLocked(j)
+}
+
+// statusLocked snapshots a job; the caller holds the home shard mutex.
+func statusLocked(j *Job) JobStatus {
 	st := JobStatus{Key: j.Key, State: j.state, Cached: j.cached, Req: j.Req,
 		Attempts: j.attempts, Panics: j.panics}
 	if j.err != nil {
@@ -879,25 +925,29 @@ func (e *Engine) statusLocked(j *Job) JobStatus {
 
 // BatchJob returns a snapshot of the batch for key.
 func (e *Engine) BatchJob(key string) (BatchStatus, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.batchMu.Lock()
 	b, ok := e.batches[key]
-	if !ok {
-		return BatchStatus{}, false
+	st := BatchStatus{}
+	if ok {
+		st = e.batchStatus(b)
 	}
-	return e.batchStatusLocked(b), true
+	e.batchMu.Unlock()
+	return st, ok
 }
 
-func (e *Engine) batchStatusLocked(b *Batch) BatchStatus {
+// batchStatus snapshots a batch; the caller holds batchMu. Cell states
+// are read through each cell's own shard lock.
+func (e *Engine) batchStatus(b *Batch) BatchStatus {
 	st := BatchStatus{Key: b.Key, State: b.state, Experiment: b.Spec.ID}
 	if b.err != nil {
 		st.Error = b.err.Error()
 	}
 	st.Cells = make([]BatchCellInfo, len(b.cells))
 	for i, j := range b.cells {
+		cs := j.snapshot()
 		st.Cells[i] = BatchCellInfo{
 			Key: j.Key, Benchmark: j.Req.Benchmark,
-			Variant: variantName(b.Spec, i), State: j.state, Cached: j.cached,
+			Variant: variantName(b.Spec, i), State: cs.State, Cached: cs.Cached,
 		}
 	}
 	return st
@@ -913,9 +963,10 @@ func variantName(spec experiments.Spec, cellIndex int) string {
 // Wait blocks until the job for key settles or ctx is done, and returns
 // the settled snapshot.
 func (e *Engine) Wait(ctx context.Context, key string) (JobStatus, error) {
-	e.mu.Lock()
-	j, ok := e.jobs[key]
-	e.mu.Unlock()
+	sh := e.shardFor(key)
+	sh.mu.Lock()
+	j, ok := sh.jobs[key]
+	sh.mu.Unlock()
 	if !ok {
 		if st, ok := e.Job(key); ok { // cache fallback
 			return st, nil
@@ -927,16 +978,14 @@ func (e *Engine) Wait(ctx context.Context, key string) (JobStatus, error) {
 	case <-ctx.Done():
 		return JobStatus{}, ctx.Err()
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.statusLocked(j), nil
+	return j.snapshot(), nil
 }
 
 // WaitBatch blocks until the batch settles or ctx is done.
 func (e *Engine) WaitBatch(ctx context.Context, key string) (BatchStatus, error) {
-	e.mu.Lock()
+	e.batchMu.Lock()
 	b, ok := e.batches[key]
-	e.mu.Unlock()
+	e.batchMu.Unlock()
 	if !ok {
 		return BatchStatus{}, fmt.Errorf("service: unknown batch %q", key)
 	}
@@ -945,33 +994,35 @@ func (e *Engine) WaitBatch(ctx context.Context, key string) (BatchStatus, error)
 	case <-ctx.Done():
 		return BatchStatus{}, ctx.Err()
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.batchStatusLocked(b), nil
+	e.batchMu.Lock()
+	defer e.batchMu.Unlock()
+	return e.batchStatus(b), nil
 }
 
 // BatchMatrix assembles a settled done batch into an experiments.Matrix
 // (cells in serial iteration order, results decoded from the cached
 // JSON), ready for the paper-style report renderers.
 func (e *Engine) BatchMatrix(key string) (*experiments.Matrix, error) {
-	e.mu.Lock()
+	e.batchMu.Lock()
 	b, ok := e.batches[key]
 	if !ok {
-		e.mu.Unlock()
+		e.batchMu.Unlock()
 		return nil, fmt.Errorf("service: unknown batch %q", key)
 	}
 	if b.state != JobDone {
-		e.mu.Unlock()
+		e.batchMu.Unlock()
 		return nil, fmt.Errorf("service: batch %q is %s", key, b.state)
 	}
 	spec := b.Spec
 	cells := make([]*Job, len(b.cells))
 	copy(cells, b.cells)
-	e.mu.Unlock()
+	e.batchMu.Unlock()
 
 	m := &experiments.Matrix{Spec: spec, Cells: make([]experiments.Cell, len(cells))}
 	for i, j := range cells {
 		var r sim.Result
+		// b.state == JobDone was set after every cell settled, so the
+		// result bytes are ordered before this read.
 		if err := json.Unmarshal(j.resultJSON, &r); err != nil {
 			return nil, fmt.Errorf("service: batch %q cell %d: %w", key, i, err)
 		}
@@ -1018,35 +1069,26 @@ func (e *Engine) RunMatrix(ctx context.Context, spec experiments.Spec, w io.Writ
 	return m, nil
 }
 
-// Metrics returns the engine counter snapshot.
+// Metrics returns the engine counter snapshot, folding the per-worker
+// and per-shard accumulators — the only place they are combined.
 func (e *Engine) Metrics() Metrics {
 	cs := e.cache.Stats()
 	up := time.Since(e.start).Seconds()
-	completed := e.completed.Load()
-	cps := 0.0
-	if up > 0 {
-		cps = float64(completed) / up
-	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	ready, _ := e.Ready()
-	return Metrics{
-		UptimeSeconds:   up,
-		JobsQueued:      len(e.queue),
-		JobsRunning:     int(e.running.Load()),
-		JobsCompleted:   completed,
-		JobsFailed:      e.failed.Load(),
-		JobsDeduped:     e.deduped.Load(),
-		JobsRetried:     e.retries.Load(),
-		JobPanics:       e.panicsTotal.Load(),
-		JobsQuarantined: e.quarantined.Load(),
-		JournalErrors:   e.journalErrs.Load(),
-		Ready:           ready,
-		CacheHits:       cs.Hits,
-		CacheMisses:     cs.Misses,
-		CacheEntries:    cs.Entries,
-		CellsPerSecond:  cps,
-		Cache:           cs,
+
+	m := Metrics{
+		UptimeSeconds: up,
+		JobsQueued:    int(e.queued.Load()),
+		JobsRunning:   int(e.running.Load()),
+		JournalErrors: e.journalErrs.Load(),
+		Ready:         ready,
+		CacheHits:     cs.Hits,
+		CacheMisses:   cs.Misses,
+		CacheEntries:  cs.Entries,
+		Cache:         cs,
+		Shards:        make([]ShardMetrics, len(e.shards)),
 		Runtime: RuntimeMetrics{
 			Goroutines:      runtime.NumGoroutine(),
 			NumCPU:          runtime.NumCPU(),
@@ -1056,26 +1098,101 @@ func (e *Engine) Metrics() Metrics {
 			GCCycles:        ms.NumGC,
 			GCPauseTotalMS:  float64(ms.PauseTotalNs) / 1e6,
 		},
-		Utilization: e.utilizationSnapshot(),
-		Multicore:   e.multicoreSnapshot(),
 	}
+	for i, s := range e.shards {
+		m.Shards[i] = ShardMetrics{QueueDepth: int(s.qlen.Load())}
+		s.mu.Lock()
+		m.JobsDeduped += s.deduped
+		s.mu.Unlock()
+	}
+	e.batchMu.Lock()
+	m.JobsDeduped += e.batchDeduped
+	e.batchMu.Unlock()
+
+	var utilN uint64
+	utilSum := UtilizationMetrics{}
+	mcSum := MulticoreMetrics{}
+	var mcCoreN []uint64
+	for _, w := range e.workers {
+		w.statsMu.Lock()
+		st := &w.stats
+		m.JobsCompleted += st.completed
+		m.JobsFailed += st.failed
+		m.JobsRetried += st.retries
+		m.JobPanics += st.panics
+		m.JobsQuarantined += st.quarantined
+		m.JobsStolen += st.stolen
+		utilN += st.utilN
+		for h := 0; h < 2; h++ {
+			utilSum.IntQHalfOcc[h] += st.utilSum.IntQHalfOcc[h]
+			utilSum.FPQHalfOcc[h] += st.utilSum.FPQHalfOcc[h]
+		}
+		utilSum.ALUGrantShare = addVec(utilSum.ALUGrantShare, st.utilSum.ALUGrantShare)
+		utilSum.RFReadShare = addVec(utilSum.RFReadShare, st.utilSum.RFReadShare)
+		mcSum.Runs += st.mcSum.Runs
+		mcSum.CoolingStalls += st.mcSum.CoolingStalls
+		mcSum.Migrations += st.mcSum.Migrations
+		for len(mcCoreN) < len(st.mcCoreN) {
+			mcCoreN = append(mcCoreN, 0)
+			mcSum.CoreUtilization = append(mcSum.CoreUtilization, 0)
+			mcSum.CoreAvgTempK = append(mcSum.CoreAvgTempK, 0)
+			mcSum.CorePeakTempK = append(mcSum.CorePeakTempK, 0)
+		}
+		for i, n := range st.mcCoreN {
+			mcCoreN[i] += n
+			mcSum.CoreUtilization[i] += st.mcSum.CoreUtilization[i]
+			mcSum.CoreAvgTempK[i] += st.mcSum.CoreAvgTempK[i]
+			if st.mcSum.CorePeakTempK[i] > mcSum.CorePeakTempK[i] {
+				mcSum.CorePeakTempK[i] = st.mcSum.CorePeakTempK[i]
+			}
+		}
+		w.statsMu.Unlock()
+	}
+	if up > 0 {
+		m.CellsPerSecond = float64(m.JobsCompleted) / up
+	}
+	m.Utilization = utilizationSnapshot(utilN, utilSum)
+	m.Multicore = multicoreSnapshot(mcSum, mcCoreN)
+	return m
 }
 
-// utilizationSnapshot averages the accumulated per-cell telemetry.
-func (e *Engine) utilizationSnapshot() UtilizationMetrics {
-	e.utilMu.Lock()
-	defer e.utilMu.Unlock()
-	out := UtilizationMetrics{Cells: e.utilN}
-	if e.utilN == 0 {
+// utilizationSnapshot averages the folded per-cell telemetry.
+func utilizationSnapshot(utilN uint64, sum UtilizationMetrics) UtilizationMetrics {
+	out := UtilizationMetrics{Cells: utilN}
+	if utilN == 0 {
 		return out
 	}
-	n := float64(e.utilN)
+	n := float64(utilN)
 	for h := 0; h < 2; h++ {
-		out.IntQHalfOcc[h] = e.utilSum.IntQHalfOcc[h] / n
-		out.FPQHalfOcc[h] = e.utilSum.FPQHalfOcc[h] / n
+		out.IntQHalfOcc[h] = sum.IntQHalfOcc[h] / n
+		out.FPQHalfOcc[h] = sum.FPQHalfOcc[h] / n
 	}
-	out.ALUGrantShare = scaleVec(e.utilSum.ALUGrantShare, 1/n)
-	out.RFReadShare = scaleVec(e.utilSum.RFReadShare, 1/n)
+	out.ALUGrantShare = scaleVec(sum.ALUGrantShare, 1/n)
+	out.RFReadShare = scaleVec(sum.RFReadShare, 1/n)
+	return out
+}
+
+// multicoreSnapshot averages the folded per-run telemetry.
+func multicoreSnapshot(sum MulticoreMetrics, coreN []uint64) MulticoreMetrics {
+	out := MulticoreMetrics{
+		Runs:          sum.Runs,
+		CoolingStalls: sum.CoolingStalls,
+		Migrations:    sum.Migrations,
+	}
+	if len(coreN) == 0 {
+		return out
+	}
+	out.CoreUtilization = make([]float64, len(coreN))
+	out.CoreAvgTempK = make([]float64, len(coreN))
+	out.CorePeakTempK = make([]float64, len(coreN))
+	for i, n := range coreN {
+		if n == 0 {
+			continue
+		}
+		out.CoreUtilization[i] = sum.CoreUtilization[i] / float64(n)
+		out.CoreAvgTempK[i] = sum.CoreAvgTempK[i] / float64(n)
+		out.CorePeakTempK[i] = sum.CorePeakTempK[i]
+	}
 	return out
 }
 
@@ -1118,16 +1235,20 @@ func (e *Engine) BeginDrain() { e.draining.Store(true) }
 // deadline write no terminal record at all, which is what makes
 // restart replay accurate: exactly the interrupted work is resubmitted.
 func (e *Engine) Shutdown(ctx context.Context) error {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if !e.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	e.closed = true
 	e.closing.Store(true)
 	e.draining.Store(true)
-	close(e.queue) // Submit holds the mutex when sending, so this is safe
-	e.mu.Unlock()
+	// Fence: a submitter past the closed check holds its shard lock
+	// until its job is enqueued, so after one lock/unlock round every
+	// in-flight enqueue is visible to the workers' shutdown sweep and
+	// every later submit fails with ErrShutdown.
+	for _, s := range e.shards {
+		s.mu.Lock()
+		s.mu.Unlock() //nolint:staticcheck // empty critical section as a fence
+	}
+	close(e.stopCh)
 
 	done := make(chan struct{})
 	go func() {

@@ -1,0 +1,127 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineThroughput is the service-layer load generator: S
+// submitter goroutines drive tiny cells through a full engine (stubbed
+// runner, so the dispatch path itself is what is measured) and every
+// iteration is one job submitted and settled. Three regimes:
+//
+//   - hit:   one hot pre-cached key — the cache-hit burst path, pure
+//     Submit-side work (key hashing, dedup, cache lookup), no worker
+//     involvement;
+//   - miss:  every submission is a distinct key, so each job runs the
+//     full queue → worker → finish → cache path;
+//   - mixed: alternating hot and distinct keys.
+//
+// Submitter counts 1/4/16/64 model a single client up to a bursty
+// many-client front end; workers are max(16, GOMAXPROCS) so the
+// many-core dispatch shape is exercised even on small CI hosts.
+// ns/op is per job; the jobs/s metric is the headline number recorded
+// in BENCH_pipeline.json and gated (time-only) by scripts/benchgate.
+func BenchmarkEngineThroughput(b *testing.B) {
+	for _, regime := range []string{"hit", "miss", "mixed"} {
+		for _, subs := range []int{1, 4, 16, 64} {
+			b.Run(fmt.Sprintf("%s/sub%d", regime, subs), func(b *testing.B) {
+				benchEngineThroughput(b, regime, subs)
+			})
+		}
+	}
+}
+
+// benchWorkers resolves the worker count for the throughput benchmark:
+// at least 16 so the ≥16-worker dispatch regime exists everywhere.
+func benchWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 16 {
+		return n
+	}
+	return 16
+}
+
+func benchEngineThroughput(b *testing.B, regime string, subs int) {
+	e := NewEngine(EngineConfig{
+		Workers:    benchWorkers(),
+		QueueDepth: 1024,
+		runFunc: func(ctx context.Context, req Request) ([]byte, error) {
+			return []byte(`{"benchmark":"` + req.Benchmark + `","blocks":[],"avg_temp_k":[],"peak_temp_k":[]}`), nil
+		},
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		e.Shutdown(ctx)
+	}()
+
+	hot := Request{Benchmark: "eon", Cycles: 100_000, Warmup: 10_000}
+	// Pre-warm the hot key so the hit regime is all cache hits.
+	j, err := e.Submit(hot)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Wait(context.Background(), j.Key); err != nil {
+		b.Fatal(err)
+	}
+
+	// uniqueReq derives a distinct job key per index: Cycles is part of
+	// the canonical request form, so each value is a new content hash.
+	uniqueReq := func(i int64) Request {
+		return Request{Benchmark: "eon", Cycles: 200_000 + i, Warmup: 10_000}
+	}
+
+	var next atomic.Int64
+	var failures atomic.Int64
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < subs; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(b.N) {
+					return
+				}
+				req := hot
+				wait := false
+				switch regime {
+				case "miss":
+					req, wait = uniqueReq(i), true
+				case "mixed":
+					if i%2 == 1 {
+						req, wait = uniqueReq(i), true
+					}
+				}
+				j, err := e.Submit(req)
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				if wait {
+					if _, err := e.Wait(ctx, j.Key); err != nil {
+						failures.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	if n := failures.Load(); n > 0 {
+		b.Fatalf("%d of %d submissions failed", n, b.N)
+	}
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "jobs/s")
+	}
+}

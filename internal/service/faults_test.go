@@ -429,10 +429,7 @@ func TestEngineQuarantineSurvivesRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e2.mu.Lock()
-	state := j2.state
-	e2.mu.Unlock()
-	if state != JobQuarantined {
+	if state := j2.snapshot().State; state != JobQuarantined {
 		t.Fatalf("restarted engine re-admitted a quarantined key: %v", state)
 	}
 	if runs.Load() != 0 {

@@ -19,6 +19,8 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strconv"
+	"sync"
 
 	"repro/internal/config"
 	"repro/internal/experiments"
@@ -74,29 +76,150 @@ func (r Request) Validate() error {
 	if _, err := trace.ByName(r.Benchmark); err != nil {
 		return err
 	}
+	return validateCell(r.Plan, r.Techniques)
+}
+
+// cellShape is the part of a cell request that config validation
+// depends on — everything else in the validated Config is
+// config.Default(), which never changes at runtime.
+type cellShape struct {
+	plan config.FloorplanVariant
+	tech config.Techniques
+}
+
+// validateVerdicts memoizes config.Validate verdicts per cellShape:
+// building and checking a full Config per submission is the dominant
+// non-hash cost on the cache-hit burst path, and the verdict is a pure
+// function of the shape. Only nil verdicts are cached — the accepted
+// shape space is the few dozen combinations real clients use, while
+// rejected shapes are unbounded (arbitrary enum bytes) and would let a
+// hostile client grow the map without limit.
+var validateVerdicts sync.Map // cellShape -> struct{} (validated OK)
+
+func validateCell(plan config.FloorplanVariant, tech config.Techniques) error {
+	k := cellShape{plan, tech}
+	if _, ok := validateVerdicts.Load(k); ok {
+		return nil
+	}
 	cfg := config.Default()
-	cfg.Plan = r.Plan
-	cfg.Techniques = r.Techniques
-	return cfg.Validate()
+	cfg.Plan = plan
+	cfg.Techniques = tech
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	validateVerdicts.Store(k, struct{}{})
+	return nil
 }
 
 // Canonical returns the stable JSON encoding of the normalized request:
 // fixed field order (struct declaration order), enums as names, defaults
 // applied. Equal requests — however they were spelled on the wire —
 // produce equal canonical bytes.
+//
+// Cell-shaped requests take a hand-rolled encoder (appendCanonical)
+// that skips the reflection-based json.Marshal on the submission hot
+// path; anything it cannot encode byte-identically falls back to
+// json.Marshal, so the canonical bytes — and therefore every cache key
+// and journal record — are exactly what they have always been.
 func (r Request) Canonical() ([]byte, error) {
-	return json.Marshal(r.Normalize())
+	n := r.Normalize()
+	if c, ok := appendCanonical(make([]byte, 0, canonicalBufSize), n); ok {
+		return c, nil
+	}
+	return json.Marshal(n)
 }
 
 // Key returns the content-addressed job key: the hex SHA-256 of the
-// canonical form.
+// canonical form. The canonical bytes are assembled in a stack buffer
+// and hashed in place, so the submission fast path allocates only the
+// returned key string.
 func (r Request) Key() (string, error) {
-	c, err := r.Canonical()
-	if err != nil {
-		return "", err
+	n := r.Normalize()
+	var buf [canonicalBufSize]byte
+	c, ok := appendCanonical(buf[:0], n)
+	if !ok {
+		var err error
+		if c, err = json.Marshal(n); err != nil {
+			return "", err
+		}
 	}
 	sum := sha256.Sum256(c)
-	return hex.EncodeToString(sum[:]), nil
+	var out [sha256.Size * 2]byte
+	hex.Encode(out[:], sum[:])
+	return string(out[:]), nil
+}
+
+// canonicalBufSize comfortably holds any cell request's canonical form
+// (the fixed skeleton is ~140 bytes; names add a few dozen). Overflow
+// just spills the append to the heap — correct, merely slower.
+const canonicalBufSize = 256
+
+// appendCanonical appends r's canonical JSON to dst, reporting whether
+// it produced bytes identical to json.Marshal(r). It handles the cell
+// shape only (Multicore == nil) and requires every string to be "plain"
+// — printable ASCII that json.Marshal would emit unescaped (it escapes
+// control chars, quotes, backslashes, and — in HTML-safe mode — <, >,
+// and &). Anything else returns ok == false and the caller falls back
+// to json.Marshal; the fallback is what defines correctness, this is
+// only a byte-for-byte shortcut (TestRequestCanonicalFastPath holds the
+// two paths equal across grids of requests).
+func appendCanonical(dst []byte, r Request) ([]byte, bool) {
+	if r.Multicore != nil {
+		return dst, false
+	}
+	if !plainJSONString(r.Benchmark) {
+		return dst, false
+	}
+	// Enum String() values need no check: every output — the fixed
+	// lowercase names and the out-of-range "Type(%d)" form — is plain
+	// ASCII by construction (TestEnumNamesArePlain pins this for all
+	// 256 values of every enum encoded here).
+	t := r.Techniques
+	plan := r.Plan.String()
+	iq, alu := t.IQ.String(), t.ALU.String()
+	rfMap, rfWrites, temporal := t.RFMap.String(), t.RFWrites.String(), t.Temporal.String()
+	dst = append(dst, `{"benchmark":"`...)
+	dst = append(dst, r.Benchmark...)
+	dst = append(dst, `","plan":"`...)
+	dst = append(dst, plan...)
+	dst = append(dst, `","techniques":{"iq":"`...)
+	dst = append(dst, iq...)
+	dst = append(dst, `","alu":"`...)
+	dst = append(dst, alu...)
+	dst = append(dst, `","rf_map":"`...)
+	dst = append(dst, rfMap...)
+	dst = append(dst, `","rf_turnoff":`...)
+	if t.RFTurnoff {
+		dst = append(dst, "true"...)
+	} else {
+		dst = append(dst, "false"...)
+	}
+	dst = append(dst, `,"rf_writes":"`...)
+	dst = append(dst, rfWrites...)
+	dst = append(dst, `","temporal":"`...)
+	dst = append(dst, temporal...)
+	dst = append(dst, `"},"cycles":`...)
+	dst = strconv.AppendInt(dst, r.Cycles, 10)
+	dst = append(dst, `,"warmup":`...)
+	dst = strconv.AppendInt(dst, int64(r.Warmup), 10)
+	dst = append(dst, '}')
+	return dst, true
+}
+
+// plainJSONString reports whether json.Marshal would emit s between
+// quotes byte-for-byte unchanged: printable ASCII with no `"` or `\`
+// and none of the HTML-escaped trio `<`, `>`, `&`. Multi-byte UTF-8 is
+// rejected wholesale (U+2028/U+2029 would be escaped) — benchmark and
+// enum names are plain ASCII, so the fast path never misses in
+// practice.
+func plainJSONString(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x7f || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return false
+		}
+	}
+	return true
 }
 
 // BatchRequest submits one experiment matrix by its registry ID

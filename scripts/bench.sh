@@ -8,8 +8,10 @@
 # Runs the gated microbenchmarks (default: the cycle hot loop —
 # BenchmarkPipelineCycle and BenchmarkSimInterval — plus the thermal
 # axis, BenchmarkThermalAdvance and BenchmarkThermalSteadyState at
-# N=30/300/3000, and the multi-core lockstep interval,
-# BenchmarkMulticoreInterval at 1/2/4/8 cores) with -benchmem -count=5
+# N=30/300/3000, the multi-core lockstep interval,
+# BenchmarkMulticoreInterval at 1/2/4/8 cores, and the service-layer
+# load generator, BenchmarkEngineThroughput in internal/service, at
+# hit/miss/mixed × 1/4/16/64 submitters) with -benchmem -count=5
 # and writes BENCH_pipeline.json:
 # the raw `go test -bench` text (benchstat's input format) alongside
 # machine-readable per-run samples. Compare two checkouts with:
@@ -25,7 +27,7 @@ cd "$(dirname "$0")/.."
 
 COUNT=5
 OUT=BENCH_pipeline.json
-PATTERN='BenchmarkPipelineCycle|BenchmarkSimInterval|BenchmarkThermalAdvance|BenchmarkThermalSteadyState|BenchmarkMulticoreInterval'
+PATTERN='BenchmarkPipelineCycle|BenchmarkSimInterval|BenchmarkThermalAdvance|BenchmarkThermalSteadyState|BenchmarkMulticoreInterval|BenchmarkEngineThroughput'
 while [[ $# -gt 0 ]]; do
   case "$1" in
     -count) COUNT="$2"; shift 2 ;;
@@ -39,7 +41,9 @@ RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 echo "bench: running ${PATTERN} with -benchmem -count=${COUNT}" >&2
 # The full pattern at -count=5 runs past go test's default 10m timeout.
-go test -run '^$' -bench "${PATTERN}" -benchmem -count="${COUNT}" -timeout 40m . | tee "$RAW" >&2
+# The root package holds the simulator loops; internal/service holds the
+# engine throughput load generator.
+go test -run '^$' -bench "${PATTERN}" -benchmem -count="${COUNT}" -timeout 40m . ./internal/service | tee "$RAW" >&2
 
 # Assemble the JSON record: environment, per-sample parse, and the raw
 # benchstat-compatible text. An existing record's hand-curated baseline

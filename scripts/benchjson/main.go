@@ -120,15 +120,27 @@ func main() {
 		if len(old.Baseline) > 0 {
 			var base baselineSamples
 			if err := json.Unmarshal(old.Baseline, &base); err == nil {
+				summary := map[string]any{}
 				if bs, cs := base.Samples["BenchmarkPipelineCycle"], rec.Samples["BenchmarkPipelineCycle"]; len(bs) > 0 && len(cs) > 0 {
 					bm, cm := median(bs), median(cs)
-					summary := map[string]any{
-						"pipeline_cycle_median_ns_per_op": map[string]float64{
-							"baseline": bm,
-							"current":  cm,
-						},
-						"cycles_per_sec_gain_pct": float64(int(bm/cm*1000-1000)) / 10,
+					summary["pipeline_cycle_median_ns_per_op"] = map[string]float64{
+						"baseline": bm,
+						"current":  cm,
 					}
+					summary["cycles_per_sec_gain_pct"] = float64(int(bm/cm*1000-1000)) / 10
+				}
+				// The service-layer A/B: jobs/sec speedup on the cache-hit
+				// burst regime at >=16 submitters (workers are >=16 in the
+				// benchmark) versus the recorded pre-shard baseline.
+				if bs, cs := base.Samples["BenchmarkEngineThroughput/hit/sub16"], rec.Samples["BenchmarkEngineThroughput/hit/sub16"]; len(bs) > 0 && len(cs) > 0 {
+					bm, cm := median(bs), median(cs)
+					summary["engine_hit_sub16_median_ns_per_op"] = map[string]float64{
+						"baseline": bm,
+						"current":  cm,
+					}
+					summary["engine_hit_sub16_jobs_per_sec_speedup_x"] = float64(int(bm/cm*100)) / 100
+				}
+				if len(summary) > 0 {
 					if rec.Summary, err = json.Marshal(summary); err != nil {
 						fmt.Fprintln(os.Stderr, "benchjson:", err)
 						os.Exit(1)
