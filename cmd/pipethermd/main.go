@@ -10,6 +10,8 @@
 //	           [-cache-entries N] [-cache-dir DIR] [-journal-dir DIR]
 //	           [-job-timeout D] [-retries N] [-retry-base D]
 //	           [-quarantine-after N] [-drain-timeout D]
+//	           [-default-deadline D] [-watchdog D]
+//	           [-breaker-errors N] [-breaker-latency D] [-breaker-cooldown D]
 //
 // With -journal-dir, job submissions and completions are written to a
 // crash-safe journal: after a crash or SIGKILL the next start replays
@@ -18,6 +20,16 @@
 // 503 until the replay has been resubmitted). On SIGTERM or SIGINT the
 // daemon flips /readyz to 503, stops accepting work, lets running jobs
 // finish, and exits once drained or once -drain-timeout elapses.
+//
+// Overload protection: -default-deadline applies a deadline to jobs
+// whose submission carried none, -watchdog force-fails attempts that
+// stop making progress, and the -breaker-* flags tune the circuit
+// breakers guarding the disk cache and the journal (when a breaker is
+// open the daemon degrades — memory-only cache, durability "none" —
+// instead of failing; see /statusz). -chaos-disk-fault is a test seam:
+// while the named file exists, every disk touch by the cache and the
+// journal fails with ENOSPC, which is how the overload e2e yanks the
+// disk out from under a live daemon.
 package main
 
 import (
@@ -34,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/journal"
 	"repro/internal/service"
 )
@@ -66,6 +79,12 @@ func run(args []string, stdout, stderr io.Writer, ctx context.Context) int {
 		retryBase    = fs.Duration("retry-base", 50*time.Millisecond, "first retry backoff delay (doubled per retry, jittered)")
 		quarAfter    = fs.Int("quarantine-after", 3, "panics before a job key is quarantined")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "shutdown grace period for running jobs")
+		defDeadline  = fs.Duration("default-deadline", 0, "deadline applied to submissions that carry none (0: none)")
+		watchdog     = fs.Duration("watchdog", 0, "force-fail attempts making no progress for this long (0: 10x -job-timeout)")
+		brkErrors    = fs.Int("breaker-errors", 3, "consecutive disk errors that open a cache/journal circuit breaker")
+		brkLatency   = fs.Duration("breaker-latency", 2*time.Second, "disk operations slower than this count as breaker failures")
+		brkCooldown  = fs.Duration("breaker-cooldown", 2*time.Second, "open breaker cooldown before a half-open probe")
+		chaosFault   = fs.String("chaos-disk-fault", "", "test seam: fail all cache/journal disk I/O with ENOSPC while FILE exists")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -92,9 +111,28 @@ func run(args []string, stdout, stderr io.Writer, ctx context.Context) int {
 		MaxRetries:      *retries,
 		RetryBase:       *retryBase,
 		QuarantineAfter: *quarAfter,
+		DefaultDeadline: *defDeadline,
+		Watchdog:        *watchdog,
+		BreakerFailures: *brkErrors,
+		BreakerLatency:  *brkLatency,
+		BreakerCooldown: *brkCooldown,
 	}
 	if cfg.MaxRetries == 0 {
 		cfg.MaxRetries = -1 // flag 0 means "no retries", not "engine default"
+	}
+	if *chaosFault != "" {
+		// While the sentinel file exists every disk touch by the cache
+		// and the journal fails with ENOSPC — the e2e's removable disk.
+		inj := faultinject.New()
+		for _, site := range []string{
+			faultinject.SiteCacheRead, faultinject.SiteCacheWrite,
+			faultinject.SiteJournalAppend, faultinject.SiteJournalRewrite,
+		} {
+			inj.ArmWhileFile(site, *chaosFault, faultinject.Outcome{Err: faultinject.ErrNoSpace})
+		}
+		cfg.Inject = inj
+		cache.SetInjector(inj)
+		fmt.Fprintf(stdout, "pipethermd: chaos: disk I/O fails with ENOSPC while %s exists\n", *chaosFault)
 	}
 	if *journalDir != "" {
 		jnl, recs, err := journal.Open(*journalDir)
@@ -102,6 +140,7 @@ func run(args []string, stdout, stderr io.Writer, ctx context.Context) int {
 			fmt.Fprintf(stderr, "pipethermd: %v\n", err)
 			return 1
 		}
+		jnl.Inject = cfg.Inject
 		pending, quarantined := journal.Pending(recs)
 		fmt.Fprintf(stdout, "pipethermd: journal: replayed %d records, %d pending jobs resubmitted, %d quarantined\n",
 			len(recs), len(pending), len(quarantined))

@@ -13,6 +13,7 @@ package faultinject
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 )
@@ -25,8 +26,13 @@ const (
 	// SiteCacheWrite fires before every disk-cache entry write; torn
 	// outcomes truncate the entry as a crash would.
 	SiteCacheWrite = "cache.write"
+	// SiteCacheRead fires before every disk-cache entry read.
+	SiteCacheRead = "cache.read"
 	// SiteJournalAppend fires before every journal record append.
 	SiteJournalAppend = "journal.append"
+	// SiteJournalRewrite fires inside journal compaction, before the
+	// temp file is synced — the "disk fills up mid-compaction" case.
+	SiteJournalRewrite = "journal.rewrite"
 )
 
 // ErrIO is the injected transient I/O failure; the engine's retry
@@ -55,12 +61,25 @@ type Outcome struct {
 	Truncate int
 }
 
+// persistentRule is a standing outcome for a site: unlike the FIFO
+// queue it fires on every visit until disarmed, modelling sustained
+// failures (a full disk, a dead device). With whileFile set the rule is
+// active only while that file exists, which lets a shell script "yank
+// the disk" (touch the sentinel) and "plug it back in" (rm it) under a
+// live daemon.
+type persistentRule struct {
+	o         Outcome
+	whileFile string
+}
+
 // Injector queues outcomes per site. The zero value is ready to use;
 // a nil *Injector is the production no-op. Safe for concurrent use.
 type Injector struct {
-	mu    sync.Mutex
-	rules map[string][]Outcome
-	fired map[string]uint64
+	mu         sync.Mutex
+	rules      map[string][]Outcome
+	persistent map[string]persistentRule
+	fired      map[string]uint64
+	clock      *Clock
 }
 
 // New returns an empty, armed-capable injector.
@@ -80,6 +99,36 @@ func (in *Injector) ArmN(site string, n int, o Outcome) {
 	for i := 0; i < n; i++ {
 		in.rules[site] = append(in.rules[site], o)
 	}
+}
+
+// ArmPersistent installs a standing outcome at site: it fires on every
+// visit (after any queued FIFO outcomes) until DisarmPersistent.
+func (in *Injector) ArmPersistent(site string, o Outcome) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.persistent == nil {
+		in.persistent = make(map[string]persistentRule)
+	}
+	in.persistent[site] = persistentRule{o: o}
+}
+
+// ArmWhileFile installs a standing outcome at site that is active only
+// while path exists — the file-sentinel form of ArmPersistent, usable
+// from outside the process (chaos scripts touch/rm the sentinel).
+func (in *Injector) ArmWhileFile(site, path string, o Outcome) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.persistent == nil {
+		in.persistent = make(map[string]persistentRule)
+	}
+	in.persistent[site] = persistentRule{o: o, whileFile: path}
+}
+
+// DisarmPersistent removes the standing outcome at site, if any.
+func (in *Injector) DisarmPersistent(site string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.persistent, site)
 }
 
 // Fired returns how many times site has consumed an armed outcome.
@@ -102,24 +151,38 @@ func (in *Injector) Armed(site string) int {
 	return len(in.rules[site])
 }
 
-// take pops the next outcome for site, if any.
+// take pops the next outcome for site: the FIFO queue first, then the
+// standing persistent rule (consulting its file sentinel), if any.
 func (in *Injector) take(site string) (Outcome, bool) {
 	if in == nil {
 		return Outcome{}, false
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	q := in.rules[site]
-	if len(q) == 0 {
+	if q := in.rules[site]; len(q) > 0 {
+		o := q[0]
+		in.rules[site] = q[1:]
+		in.markFiredLocked(site)
+		return o, true
+	}
+	p, ok := in.persistent[site]
+	if !ok {
 		return Outcome{}, false
 	}
-	o := q[0]
-	in.rules[site] = q[1:]
+	if p.whileFile != "" {
+		if _, err := os.Stat(p.whileFile); err != nil {
+			return Outcome{}, false
+		}
+	}
+	in.markFiredLocked(site)
+	return p.o, true
+}
+
+func (in *Injector) markFiredLocked(site string) {
 	if in.fired == nil {
 		in.fired = make(map[string]uint64)
 	}
 	in.fired[site]++
-	return o, true
 }
 
 // Fire consumes the next outcome armed at site: it sleeps the outcome's
@@ -159,4 +222,61 @@ func (in *Injector) FireWrite(site string, data []byte) ([]byte, error) {
 		return data[:max(o.Truncate, 0)], o.Err
 	}
 	return data, o.Err
+}
+
+// Clock is a settable fake clock for time-dependent recovery logic
+// (circuit-breaker cooldowns, overload holds). Tests construct one,
+// attach it with SetClock, and Advance it; production code reads time
+// through Injector.Now, which falls back to the real clock when no
+// injector or no fake clock is attached.
+type Clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewClock returns a fake clock frozen at t0.
+func NewClock(t0 time.Time) *Clock { return &Clock{t: t0} }
+
+// Now returns the fake clock's current time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the fake clock forward by d.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// Set pins the fake clock to t.
+func (c *Clock) Set(t time.Time) {
+	c.mu.Lock()
+	c.t = t
+	c.mu.Unlock()
+}
+
+// SetClock attaches a fake clock to the injector; nil detaches it.
+func (in *Injector) SetClock(c *Clock) {
+	in.mu.Lock()
+	in.clock = c
+	in.mu.Unlock()
+}
+
+// Now is the time seam: the fake clock when one is attached, otherwise
+// the real clock. Nil-receiver safe, so production code can hold the
+// method value of a nil injector.
+func (in *Injector) Now() time.Time {
+	if in == nil {
+		return time.Now()
+	}
+	in.mu.Lock()
+	c := in.clock
+	in.mu.Unlock()
+	if c == nil {
+		return time.Now()
+	}
+	return c.Now()
 }

@@ -2,6 +2,8 @@ package faultinject
 
 import (
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -129,5 +131,86 @@ func TestInjectorConcurrent(t *testing.T) {
 	// Every armed outcome was either fired or is still armed.
 	if got := in.Fired(SiteJobRun) + uint64(in.Armed(SiteJobRun)); got != n*100 {
 		t.Fatalf("fired+armed = %d, want %d", got, n*100)
+	}
+}
+
+func TestArmPersistentFiresUntilDisarmed(t *testing.T) {
+	in := New()
+	in.ArmPersistent("site", Outcome{Err: ErrNoSpace})
+	for i := 0; i < 3; i++ {
+		if err := in.Fire("site"); !errors.Is(err, ErrNoSpace) {
+			t.Fatalf("fire %d = %v, want ErrNoSpace", i, err)
+		}
+	}
+	if got := in.Fired("site"); got != 3 {
+		t.Fatalf("fired = %d, want 3", got)
+	}
+	in.DisarmPersistent("site")
+	if err := in.Fire("site"); err != nil {
+		t.Fatalf("fire after disarm = %v", err)
+	}
+}
+
+func TestQueuedOutcomesPrecedePersistent(t *testing.T) {
+	in := New()
+	in.ArmPersistent("site", Outcome{Err: ErrNoSpace})
+	in.Arm("site", Outcome{Err: ErrIO})
+	if err := in.Fire("site"); !errors.Is(err, ErrIO) {
+		t.Fatalf("first fire = %v, want the queued ErrIO", err)
+	}
+	if err := in.Fire("site"); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("second fire = %v, want the persistent ErrNoSpace", err)
+	}
+}
+
+func TestArmWhileFileGatesOnSentinel(t *testing.T) {
+	in := New()
+	sentinel := filepath.Join(t.TempDir(), "disk-dead")
+	in.ArmWhileFile("site", sentinel, Outcome{Err: ErrNoSpace})
+
+	if err := in.Fire("site"); err != nil {
+		t.Fatalf("fired without the sentinel: %v", err)
+	}
+	if err := os.WriteFile(sentinel, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Fire("site"); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("fire with sentinel = %v, want ErrNoSpace", err)
+	}
+	if err := os.Remove(sentinel); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Fire("site"); err != nil {
+		t.Fatalf("fired after sentinel removal: %v", err)
+	}
+}
+
+func TestClockAndInjectorNow(t *testing.T) {
+	var nilInj *Injector
+	if d := time.Since(nilInj.Now()); d < 0 || d > time.Minute {
+		t.Fatalf("nil injector Now() drifted: %v", d)
+	}
+	in := New()
+	if d := time.Since(in.Now()); d < 0 || d > time.Minute {
+		t.Fatalf("clockless injector Now() drifted: %v", d)
+	}
+
+	t0 := time.Unix(5000, 0)
+	clk := NewClock(t0)
+	in.SetClock(clk)
+	if !in.Now().Equal(t0) {
+		t.Fatalf("Now() = %v, want %v", in.Now(), t0)
+	}
+	clk.Advance(3 * time.Second)
+	if !in.Now().Equal(t0.Add(3 * time.Second)) {
+		t.Fatalf("Now() after Advance = %v", in.Now())
+	}
+	clk.Set(t0)
+	if !in.Now().Equal(t0) {
+		t.Fatalf("Now() after Set = %v", in.Now())
+	}
+	in.SetClock(nil)
+	if d := time.Since(in.Now()); d < 0 || d > time.Minute {
+		t.Fatalf("detached clock did not fall back to real time: %v", d)
 	}
 }

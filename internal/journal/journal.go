@@ -41,6 +41,11 @@ const (
 	OpDone        = "done"
 	OpFailed      = "failed"
 	OpQuarantined = "quarantined"
+	// OpNote is a no-op record: it participates in no key's lifecycle
+	// (Pending ignores it) and exists so a recovering writer can probe
+	// the disk with a real framed, fsynced append — the journal circuit
+	// breaker's half-open probe. Compaction drops notes.
+	OpNote = "note"
 )
 
 // Record is one journaled transition.
@@ -154,6 +159,11 @@ func (j *Journal) Append(r Record) error {
 		return fmt.Errorf("journal: closed")
 	}
 	torn, ferr := j.Inject.FireWrite(faultinject.SiteJournalAppend, frame)
+	if ferr != nil && len(torn) == len(frame) {
+		// Pure injected failure (ENOSPC with no tear): nothing reached
+		// the disk, exactly as a failed write(2) would leave it.
+		return fmt.Errorf("journal: %w", ferr)
+	}
 	if _, err := j.f.Write(torn); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
@@ -195,9 +205,14 @@ func (j *Journal) Close() error {
 }
 
 // Rewrite atomically replaces the journal's contents with recs —
-// startup compaction: after replay the engine rewrites only the
-// still-live records (pending submits and quarantine markers), so the
-// log stays bounded by the live job set instead of growing forever.
+// compaction: after replay (and after a degraded-mode recovery) the
+// engine rewrites only the still-live records (pending submits and
+// quarantine markers), so the log stays bounded by the live job set
+// instead of growing forever.
+//
+// Failure contract: any error before the final rename leaves the old
+// WAL byte-for-byte intact and the journal still appendable to it —
+// a full disk during compaction costs the compaction, never the log.
 func (j *Journal) Rewrite(recs []Record) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -228,6 +243,10 @@ func (j *Journal) Rewrite(recs []Record) error {
 			return fmt.Errorf("journal: %w", err)
 		}
 	}
+	if ferr := j.Inject.Fire(faultinject.SiteJournalRewrite); ferr != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: %w", ferr)
+	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return fmt.Errorf("journal: %w", err)
@@ -238,10 +257,15 @@ func (j *Journal) Rewrite(recs []Record) error {
 	if err := os.Rename(tmp.Name(), j.path); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
-	// Reopen so appends land in the compacted file, not the replaced one.
+	// Reopen so appends land in the compacted file, not the replaced
+	// one. If the reopen fails the old handle points at the unlinked
+	// pre-compaction inode — appending there would silently lose
+	// records, so fail closed: mark the journal closed and report.
 	f, err := os.OpenFile(j.path, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
-		return fmt.Errorf("journal: %w", err)
+		j.f.Close()
+		j.f = nil
+		return fmt.Errorf("journal: reopening after compaction: %w", err)
 	}
 	j.f.Close()
 	j.f = f

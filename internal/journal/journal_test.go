@@ -239,3 +239,85 @@ func TestJournalConcurrentAppend(t *testing.T) {
 		t.Fatalf("replayed %d records, want 100", len(recs))
 	}
 }
+
+// TestJournalRewriteENOSPCKeepsOldWAL is the compaction failure
+// contract: when the disk fills mid-rewrite, the temp file is the only
+// casualty — the old WAL stays byte-for-byte intact, the journal keeps
+// accepting appends into it, and no temp litter survives.
+func TestJournalRewriteENOSPCKeepsOldWAL(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	for _, k := range []string{"k1", "k2", "k3"} {
+		if err := j.Append(submitRec(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := os.ReadFile(filepath.Join(dir, "journal.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j.Inject = faultinject.New()
+	j.Inject.Arm(faultinject.SiteJournalRewrite, faultinject.Outcome{Err: faultinject.ErrNoSpace})
+	if err := j.Rewrite([]Record{submitRec("k1")}); !errors.Is(err, faultinject.ErrNoSpace) {
+		t.Fatalf("Rewrite under ENOSPC = %v, want ErrNoSpace", err)
+	}
+
+	after, err := os.ReadFile(filepath.Join(dir, "journal.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("failed compaction modified the WAL")
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(dir, ".journal.wal.tmp*")); len(tmps) != 0 {
+		t.Fatalf("temp litter after failed compaction: %v", tmps)
+	}
+
+	// The journal is still appendable, into the same (old) file.
+	if err := j.Append(submitRec("k4")); err != nil {
+		t.Fatalf("append after failed compaction: %v", err)
+	}
+	j.Close()
+	_, recs := mustOpen(t, dir)
+	if len(recs) != 4 || recs[3].Key != "k4" {
+		t.Fatalf("replay after failed compaction = %+v", recs)
+	}
+
+	// A later, unfaulted compaction succeeds and drops the stale set.
+	j2, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if err := j2.Rewrite([]Record{submitRec("k9")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(Record{Op: OpDone, Key: "k9"}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, recs = mustOpen(t, dir)
+	if len(recs) != 2 || recs[0].Key != "k9" || recs[1].Op != OpDone {
+		t.Fatalf("replay after recovery compaction = %+v", recs)
+	}
+}
+
+// TestJournalNoteRecordsAreLifecycleInert: the breaker's probe records
+// replay fine but never make a key pending.
+func TestJournalNoteRecordsAreLifecycleInert(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	if err := j.Append(Record{Op: OpNote, Key: "breaker-probe"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(submitRec("k1")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, recs := mustOpen(t, dir)
+	pending, quarantined := Pending(recs)
+	if len(pending) != 1 || pending[0].Key != "k1" || len(quarantined) != 0 {
+		t.Fatalf("pending with notes = %+v / %+v", pending, quarantined)
+	}
+}

@@ -1,0 +1,131 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// clockBreaker builds a breaker on a fake clock so cooldown expiry is
+// tested by advancing time, not sleeping through it.
+func clockBreaker(failures int, latency, cooldown time.Duration) (*Breaker, *faultinject.Clock) {
+	clk := faultinject.NewClock(time.Unix(1000, 0))
+	return newBreaker("test", failures, latency, cooldown, clk.Now), clk
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	b, _ := clockBreaker(3, time.Second, time.Second)
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		if b.Record(0, boom); b.State() != BreakerClosed {
+			t.Fatalf("open after %d failures, threshold 3", i+1)
+		}
+	}
+	// A success resets the run: two more failures must not trip.
+	b.Record(0, nil)
+	b.Record(0, boom)
+	b.Record(0, boom)
+	if b.State() != BreakerClosed {
+		t.Fatal("tripped on a non-consecutive run of failures")
+	}
+	b.Record(0, boom)
+	if b.State() != BreakerOpen {
+		t.Fatal("did not trip on the third consecutive failure")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a caller before cooldown")
+	}
+	snap := b.Snapshot()
+	if snap.State != "open" || snap.Trips != 1 || snap.LastError != "boom" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestBreakerHalfOpenProbeAndRecovery(t *testing.T) {
+	b, clk := clockBreaker(1, time.Second, time.Second)
+	b.Record(0, errors.New("boom"))
+	if b.State() != BreakerOpen {
+		t.Fatal("threshold-1 breaker did not trip on first failure")
+	}
+	if b.Allow() {
+		t.Fatal("admitted during cooldown")
+	}
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after probe admission = %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller admitted while the probe is in flight")
+	}
+	// Probe fails: back to open, full cooldown again.
+	if b.Record(0, errors.New("still down")) {
+		t.Fatal("failed probe reported recovery")
+	}
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused after second cooldown")
+	}
+	// Probe succeeds: closed, and exactly this edge reports recovered.
+	if !b.Record(0, nil) {
+		t.Fatal("successful probe did not report recovery")
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if b.Record(0, nil) {
+		t.Fatal("steady-state success reported recovery")
+	}
+	if snap := b.Snapshot(); snap.Probes != 2 || snap.LastError != "" {
+		t.Fatalf("snapshot after recovery = %+v", snap)
+	}
+}
+
+func TestBreakerSlowSuccessIsFailure(t *testing.T) {
+	b, _ := clockBreaker(2, 10*time.Millisecond, time.Second)
+	b.Record(50*time.Millisecond, nil)
+	b.Record(50*time.Millisecond, nil)
+	if b.State() != BreakerOpen {
+		t.Fatal("over-latency successes did not trip the breaker")
+	}
+	if snap := b.Snapshot(); snap.LastError == "" {
+		t.Fatal("latency trip left no last_error")
+	}
+}
+
+func TestBreakerStragglerSuccessCloses(t *testing.T) {
+	// An operation admitted before the trip finishes successfully while
+	// the breaker is open: the backend demonstrably answered, so the
+	// breaker closes without waiting out the cooldown.
+	b, _ := clockBreaker(1, time.Second, time.Hour)
+	b.Record(0, errors.New("boom"))
+	if b.State() != BreakerOpen {
+		t.Fatal("did not trip")
+	}
+	if !b.Record(0, nil) {
+		t.Fatal("straggler success did not report recovery")
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("straggler success did not close the breaker")
+	}
+}
+
+func TestBreakerNilIsAlwaysClosed(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("nil breaker not pass-through")
+	}
+	if b.Record(time.Hour, errors.New("boom")) {
+		t.Fatal("nil breaker reported recovery")
+	}
+	if snap := b.Snapshot(); snap.State != "closed" {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+}

@@ -41,7 +41,8 @@ type Cache struct {
 	ll       *list.List
 	items    map[string]*list.Element
 	stats    CacheStats
-	inj      *faultinject.Injector // chaos seam for disk writes; nil in production
+	inj      *faultinject.Injector // chaos seam for disk I/O; nil in production
+	brk      *Breaker              // disk-layer circuit breaker; nil = always closed
 }
 
 // SetInjector arms the disk-write chaos seam; a nil injector (the
@@ -52,6 +53,19 @@ func (c *Cache) SetInjector(in *faultinject.Injector) {
 	}
 	c.mu.Lock()
 	c.inj = in
+	c.mu.Unlock()
+}
+
+// SetBreaker wraps the disk layer in a circuit breaker: while it is
+// open, reads and writes skip the disk entirely and the cache serves
+// memory-only (degraded mode). A nil breaker — the default — never
+// opens. The engine installs its cache breaker here at construction.
+func (c *Cache) SetBreaker(b *Breaker) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.brk = b
 	c.mu.Unlock()
 }
 
@@ -137,7 +151,9 @@ func (c *Cache) Contains(key string) bool {
 	if ok {
 		return true
 	}
-	if c.dir == "" || !isKey(key) {
+	if c.dir == "" || !isKey(key) || c.brk.State() != BreakerClosed {
+		// Degraded mode: the disk cannot be trusted to answer, so batch
+		// admission must assume the cell needs computing.
 		return false
 	}
 	_, err := os.Stat(c.path(key))
@@ -183,11 +199,27 @@ func (c *Cache) diskGet(key string) ([]byte, bool) {
 	if c.dir == "" || !isKey(key) {
 		return nil, false
 	}
+	if !c.brk.Allow() {
+		return nil, false // degraded: memory-only until the disk recovers
+	}
+	start := c.inj.Now()
+	if err := c.inj.Fire(faultinject.SiteCacheRead); err != nil {
+		c.brk.Record(c.inj.Now().Sub(start), err)
+		return nil, false
+	}
 	p := c.path(key)
 	blob, err := os.ReadFile(p)
 	if err != nil {
+		// A missing entry is a healthy miss; any other read error is
+		// the disk failing under us.
+		if os.IsNotExist(err) {
+			c.brk.Record(c.inj.Now().Sub(start), nil)
+		} else {
+			c.brk.Record(c.inj.Now().Sub(start), err)
+		}
 		return nil, false
 	}
+	c.brk.Record(c.inj.Now().Sub(start), nil)
 	data, ok := decodeEnvelope(blob)
 	if !ok || !validResult(data) {
 		c.stats.Corrupt++
@@ -227,30 +259,43 @@ func (c *Cache) diskPut(key string, data []byte) {
 	if c.dir == "" || !isKey(key) {
 		return
 	}
+	if !c.brk.Allow() {
+		return // degraded: memory-only until the disk recovers
+	}
 	blob, err := encodeEnvelope(data)
 	if err != nil {
 		return
 	}
 	p := c.path(key)
+	start := c.inj.Now()
+	record := func(err error) {
+		c.brk.Record(c.inj.Now().Sub(start), err)
+	}
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		record(err)
 		return
 	}
 	if torn, ferr := c.inj.FireWrite(faultinject.SiteCacheWrite, blob); ferr != nil || len(torn) != len(blob) {
 		// Injected fault: ENOSPC drops the write; a torn outcome lands
 		// the truncated blob under the final name, as a crash on a
-		// non-atomic filesystem would — the checksum must catch it.
+		// non-atomic filesystem would — the checksum must catch it. The
+		// breaker sees the error form; a silent tear looked like
+		// success to the writer, so it records success.
 		if len(torn) != len(blob) {
 			os.WriteFile(p, torn, 0o644)
 		}
+		record(ferr)
 		return
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(p), "."+key+".tmp*")
 	if err != nil {
+		record(err)
 		return
 	}
 	if _, err := tmp.Write(blob); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
+		record(err)
 		return
 	}
 	// fsync before rename: otherwise a power cut can leave the rename
@@ -259,15 +304,20 @@ func (c *Cache) diskPut(key string, data []byte) {
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
+		record(err)
 		return
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
+		record(err)
 		return
 	}
 	if err := os.Rename(tmp.Name(), p); err != nil {
 		os.Remove(tmp.Name())
+		record(err)
+		return
 	}
+	record(nil)
 }
 
 // validResult reports whether data parses as a result JSON document

@@ -30,8 +30,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,6 +72,27 @@ var ErrQueueFull = errors.New("service: job queue full")
 // to fail jobs abandoned in the queue at shutdown.
 var ErrShutdown = errors.New("service: engine shutting down")
 
+// ErrDeadlineUnmeetable is the admission-control shed: the estimated
+// queue wait (queue depth × the EWMA of recent job latency) already
+// exceeds the submission's deadline, so running it would waste a worker
+// on a result nobody will be there to read. Served as 429 + Retry-After.
+var ErrDeadlineUnmeetable = errors.New("service: deadline unmeetable at current load")
+
+// ErrDeadlineExpired fails a job whose client deadline passed while it
+// waited in the queue (or between retry attempts) — the worker sheds it
+// instead of running it.
+var ErrDeadlineExpired = errors.New("service: deadline expired before the job ran")
+
+// ErrAbandoned fails a job whose only synchronous waiter disconnected:
+// the run context is cancelled with this cause and the worker stops
+// computing a result nobody is waiting for.
+var ErrAbandoned = errors.New("service: abandoned by client")
+
+// ErrStuck is the watchdog's verdict on an attempt whose goroutine
+// stopped making progress (no cancellation-poll ticks from the
+// simulator's interval loop for a full watchdog period).
+var ErrStuck = errors.New("service: attempt made no progress (watchdog)")
+
 // Job is one submitted cell. All mutable fields are guarded by the
 // home shard's mutex; callers read them through Status snapshots or
 // after Wait.
@@ -85,6 +108,14 @@ type Job struct {
 	attempts   int           // execution attempts this submission (1 = no retry)
 	panics     int           // recovered panics for this job's key
 	done       chan struct{} // closed on done/failed/quarantined
+
+	// Overload-protection state (all guarded by home.mu).
+	deadline   time.Time // zero = no deadline
+	runCtx     context.Context
+	runCancel  context.CancelCauseFunc
+	waiters    int  // synchronous waiters currently blocked on this job
+	pinned     bool // joined by a non-abandonable submitter (async, batch, replay)
+	nonDurable bool // settled while the journal breaker was open
 }
 
 // closedDone is the shared pre-closed settle channel for jobs born
@@ -108,6 +139,10 @@ type JobStatus struct {
 	Panics   int             `json:"panics,omitempty"`
 	Error    string          `json:"error,omitempty"`
 	Result   json.RawMessage `json:"result,omitempty"`
+	// NonJournaled marks a result that settled while the journal
+	// breaker was open (durability "none"): correct, served, cached —
+	// but its terminal record never reached the WAL.
+	NonJournaled bool `json:"non_journaled,omitempty"`
 }
 
 // Batch is one submitted experiment matrix, aggregating cell jobs.
@@ -183,8 +218,32 @@ type EngineConfig struct {
 	Journal *journal.Journal
 	Replay  []journal.Record
 
+	// DefaultDeadline, when positive, gives every submission that does
+	// not carry its own deadline one of now+DefaultDeadline — the
+	// server-side guard against queues full of work nobody still wants.
+	DefaultDeadline time.Duration
+	// Watchdog force-fails an attempt whose goroutine stops making
+	// progress for this long (progress = cancellation-poll ticks from
+	// the simulator's sensor-interval loop). 0 means 10× JobTimeout
+	// (disabled when JobTimeout is 0 too); negative disables it.
+	Watchdog time.Duration
+
+	// Breaker thresholds shared by the cache-disk and journal breakers:
+	// BreakerFailures consecutive failures (or over-latency successes,
+	// past BreakerLatency) trip a breaker open; after BreakerCooldown
+	// one probe is admitted. Zero values mean 3 / 2s / 2s.
+	BreakerFailures int
+	BreakerLatency  time.Duration
+	BreakerCooldown time.Duration
+
+	// OverloadHold is how long after a shed/rejection the engine keeps
+	// reporting the overloaded health state (hysteresis so /readyz does
+	// not flap on a single burst); <= 0 means 2s.
+	OverloadHold time.Duration
+
 	// Inject is the chaos-testing seam (internal/faultinject); nil — the
-	// production case — disarms every site.
+	// production case — disarms every site. Its clock, when set, also
+	// drives the breakers' cooldown timing and deadline arithmetic.
 	Inject *faultinject.Injector
 
 	// runFunc replaces the cell runner before workers and journal
@@ -206,6 +265,21 @@ type Metrics struct {
 	JobsStolen      uint64         `json:"jobs_stolen"`
 	JournalErrors   uint64         `json:"journal_errors"`
 	Ready           bool           `json:"ready"`
+
+	// Overload-protection counters and gauges (see DESIGN.md,
+	// "Overload and degraded modes").
+	JobsShedExpired     uint64          `json:"jobs_shed_expired"`
+	JobsShedAdmission   uint64          `json:"jobs_shed_admission"`
+	JobsClientAbandoned uint64          `json:"jobs_client_abandoned"`
+	JobsWatchdogFired   uint64          `json:"jobs_watchdog_fired"`
+	JournalSkipped      uint64          `json:"journal_skipped"`
+	CacheDegraded       int             `json:"cache_degraded"`
+	Durability          string          `json:"durability"` // journaled | none | off
+	QueueWaitEWMAMS     float64         `json:"queue_wait_ewma_ms"`
+	CacheBreaker        BreakerSnapshot `json:"cache_breaker"`
+	JournalBreaker      BreakerSnapshot `json:"journal_breaker"`
+	Health              HealthMetrics   `json:"health"`
+
 	CacheHits       uint64         `json:"cache_hits"`
 	CacheMisses     uint64         `json:"cache_misses"`
 	CacheEntries    int            `json:"cache_entries"`
@@ -229,6 +303,15 @@ type Metrics struct {
 // ShardMetrics is one dispatcher shard's gauge slice of /metrics.
 type ShardMetrics struct {
 	QueueDepth int `json:"queue_depth"`
+}
+
+// HealthMetrics is the health-state-machine section of /metrics: the
+// current state, how long it has held, and how many times each state
+// has been entered since the process started.
+type HealthMetrics struct {
+	State        string            `json:"state"`
+	SinceSeconds float64           `json:"since_seconds"`
+	Entered      map[string]uint64 `json:"entered"`
 }
 
 // RuntimeMetrics is the Go runtime section of /metrics.
@@ -312,6 +395,29 @@ type Engine struct {
 	running     atomic.Int64
 	journalErrs atomic.Uint64
 
+	// Overload protection (see DESIGN.md, "Overload and degraded
+	// modes"). now is the clock seam (the injector's fake clock in
+	// tests, time.Now in production); latEWMA holds float64 bits of the
+	// exponentially weighted moving average of attempt latency in
+	// seconds; lastReject is the UnixNano of the most recent
+	// shed/queue-full rejection, the overload-hysteresis signal.
+	now             func() time.Time
+	defaultDeadline time.Duration
+	watchdog        time.Duration
+	overloadHold    time.Duration
+	cbrk            *Breaker // cache-disk breaker
+	jbrk            *Breaker // journal breaker
+	latEWMA         atomic.Uint64
+	lastReject      atomic.Int64
+	shedAdmission   atomic.Uint64
+	journalSkipped  atomic.Uint64
+	rejournalMu     sync.Mutex // one re-journal compaction at a time
+
+	healthMu      sync.Mutex
+	healthCur     HealthState
+	healthSince   time.Time
+	healthEntered map[HealthState]uint64
+
 	// runCell executes one cell and returns its canonical result JSON.
 	// Tests replace it with a controllable stub; production uses runCell.
 	run func(ctx context.Context, req Request) ([]byte, error)
@@ -347,6 +453,15 @@ func NewEngine(cfg EngineConfig) *Engine {
 	if cfg.JitterSeed == 0 {
 		cfg.JitterSeed = defaultJitterSeed
 	}
+	switch {
+	case cfg.Watchdog == 0 && cfg.JobTimeout > 0:
+		cfg.Watchdog = 10 * cfg.JobTimeout
+	case cfg.Watchdog < 0:
+		cfg.Watchdog = 0
+	}
+	if cfg.OverloadHold <= 0 {
+		cfg.OverloadHold = 2 * time.Second
+	}
 	workers := runner.Resolve(cfg.Workers, 0)
 	nshards := cfg.Shards
 	if nshards <= 0 {
@@ -371,6 +486,18 @@ func NewEngine(cfg EngineConfig) *Engine {
 		cancel:          cancel,
 		start:           time.Now(),
 		run:             runCell,
+		now:             cfg.Inject.Now, // nil-receiver safe: falls back to time.Now
+		defaultDeadline: cfg.DefaultDeadline,
+		watchdog:        cfg.Watchdog,
+		overloadHold:    cfg.OverloadHold,
+		healthCur:       HealthHealthy,
+		healthEntered:   map[HealthState]uint64{HealthHealthy: 1},
+	}
+	e.healthSince = e.now()
+	e.cbrk = newBreaker("cache", cfg.BreakerFailures, cfg.BreakerLatency, cfg.BreakerCooldown, e.now)
+	cache.SetBreaker(e.cbrk)
+	if cfg.Journal != nil {
+		e.jbrk = newBreaker("journal", cfg.BreakerFailures, cfg.BreakerLatency, cfg.BreakerCooldown, e.now)
 	}
 	if cfg.runFunc != nil {
 		e.run = cfg.runFunc
@@ -392,6 +519,12 @@ func NewEngine(cfg EngineConfig) *Engine {
 		go e.worker(i)
 	}
 	e.recoverJournal(cfg.Replay)
+	if e.journal != nil {
+		// The maintenance loop probes an open journal breaker so
+		// durability recovers on its own, without waiting for traffic.
+		e.wg.Add(1)
+		go e.maintain()
+	}
 	return e
 }
 
@@ -418,7 +551,11 @@ func (e *Engine) recoverJournal(recs []journal.Record) {
 	}
 	compact := append(append([]journal.Record{}, quarantined...), pending...)
 	if err := e.journal.Rewrite(compact); err != nil {
+		// Startup compaction failing (disk full) degrades durability, it
+		// never blocks startup: the breaker sees the failure and the
+		// maintenance loop retries once the disk recovers.
 		e.journalErrs.Add(1)
+		e.jbrk.Record(0, err)
 	}
 	if len(pending) > 0 {
 		e.replayed.Store(false)
@@ -461,14 +598,108 @@ func (e *Engine) replayPending(pending []journal.Record) {
 }
 
 // journalAppend WAL-logs one transition. Journal failures degrade
-// durability, not availability: they are counted, never fatal.
-func (e *Engine) journalAppend(r journal.Record) {
+// durability, not availability: they are counted, never fatal. The
+// journal breaker turns a run of failures into durability=none mode —
+// appends are skipped (counted in journal_skipped) instead of paying a
+// failing, possibly slow syscall per transition — and the breaker
+// closing again triggers a re-journal of all outstanding state.
+// Returns whether the record actually reached the WAL.
+func (e *Engine) journalAppend(r journal.Record) bool {
 	if e.journal == nil {
-		return
+		return false
 	}
-	if err := e.journal.Append(r); err != nil {
+	if !e.jbrk.Allow() {
+		e.journalSkipped.Add(1)
+		return false
+	}
+	start := e.now()
+	err := e.journal.Append(r)
+	if err != nil {
 		e.journalErrs.Add(1)
 	}
+	if e.jbrk.Record(e.now().Sub(start), err) {
+		go e.rejournal()
+	}
+	return err == nil
+}
+
+// maintain is the engine's background recovery loop: while the journal
+// breaker is open it periodically probes the disk with a no-op note
+// append, and on success re-journals outstanding state — so a daemon
+// whose disk comes back recovers journaled durability on its own, with
+// no traffic required.
+func (e *Engine) maintain() {
+	defer e.wg.Done()
+	t := time.NewTicker(200 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stopCh:
+			return
+		case <-t.C:
+			if e.jbrk.State() == BreakerClosed || !e.jbrk.Allow() {
+				continue
+			}
+			start := e.now()
+			err := e.journal.Append(journal.Record{Op: journal.OpNote, Key: "breaker-probe"})
+			if err != nil {
+				e.journalErrs.Add(1)
+			}
+			if e.jbrk.Record(e.now().Sub(start), err) {
+				e.rejournal()
+			}
+		}
+	}
+}
+
+// rejournal compacts the WAL back to the live job set — the recovery
+// step after a stretch of durability=none, when the on-disk log is
+// missing every transition that happened while the breaker was open.
+// It rewrites pending submits and quarantine markers from the in-memory
+// truth; settled jobs simply vanish from the log, exactly as compaction
+// would have left them. Holding every shard lock across the rewrite
+// keeps concurrent appends from landing in the pre-compaction file and
+// being lost by the rename.
+func (e *Engine) rejournal() {
+	if e.journal == nil || !e.rejournalMu.TryLock() {
+		return
+	}
+	defer e.rejournalMu.Unlock()
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+	}
+	var recs []journal.Record
+	for _, sh := range e.shards {
+		for key, j := range sh.jobs {
+			switch j.state {
+			case JobQueued, JobRunning:
+				rec := journal.Record{Op: journal.OpSubmit, Key: key}
+				if c, err := j.Req.Canonical(); err == nil {
+					rec.Req = c
+				}
+				recs = append(recs, rec)
+			case JobQuarantined:
+				rec := journal.Record{Op: journal.OpQuarantined, Key: key}
+				if j.err != nil {
+					rec.Err = j.err.Error()
+				}
+				if c, err := j.Req.Canonical(); err == nil {
+					rec.Req = c
+				}
+				recs = append(recs, rec)
+			}
+		}
+	}
+	sort.Slice(recs, func(i, k int) bool { return recs[i].Key < recs[k].Key })
+	start := e.now()
+	err := e.journal.Rewrite(recs)
+	for _, sh := range e.shards {
+		sh.mu.Unlock()
+	}
+	if err != nil {
+		e.journalErrs.Add(1)
+	}
+	e.jbrk.Record(e.now().Sub(start), err)
 }
 
 func (e *Engine) runJob(id int, j *Job) {
@@ -481,13 +712,36 @@ func (e *Engine) runJob(id int, j *Job) {
 
 	w := e.workers[id]
 	for attempt := 0; ; attempt++ {
+		if e.jobExpired(j) {
+			w.statsMu.Lock()
+			w.stats.shedExpired++
+			w.statsMu.Unlock()
+			e.finish(id, j, nil, ErrDeadlineExpired)
+			return
+		}
 		h.mu.Lock()
 		j.attempts = attempt + 1
 		h.mu.Unlock()
+		astart := e.now()
 		data, err := e.attempt(j)
+		e.noteLatency(e.now().Sub(astart))
 		if err == nil {
 			e.cache.Put(j.Key, data)
 			e.finish(id, j, data, nil)
+			return
+		}
+		if e.jobAbandoned(j) {
+			w.statsMu.Lock()
+			w.stats.abandoned++
+			w.statsMu.Unlock()
+			e.finish(id, j, nil, ErrAbandoned)
+			return
+		}
+		if errors.Is(err, ErrStuck) {
+			w.statsMu.Lock()
+			w.stats.watchdog++
+			w.statsMu.Unlock()
+			e.finish(id, j, nil, fmt.Errorf("%w after %s without progress", ErrStuck, e.watchdog))
 			return
 		}
 		var pe *panicError
@@ -526,11 +780,25 @@ func (e *Engine) runJob(id int, j *Job) {
 
 // attempt executes the job once with panic isolation: a panicking run
 // (simulator bug, injected fault) is converted into a *panicError
-// carrying the goroutine stack instead of killing the worker.
+// carrying the goroutine stack instead of killing the worker. The
+// attempt context stacks, innermost first: job timeout, client
+// deadline, the job's cancellable run context (client abandonment),
+// and the engine's base context (shutdown).
 func (e *Engine) attempt(j *Job) (data []byte, err error) {
-	ctx := e.baseCtx
+	h := j.home
+	h.mu.Lock()
+	ctx := j.runCtx
+	deadline := j.deadline
+	h.mu.Unlock()
+	if ctx == nil {
+		ctx = e.baseCtx
+	}
+	var cancel context.CancelFunc
+	if !deadline.IsZero() {
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
 	if e.jobTimeout > 0 {
-		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.jobTimeout)
 		defer cancel()
 	}
@@ -542,8 +810,165 @@ func (e *Engine) attempt(j *Job) (data []byte, err error) {
 	if ferr := e.inj.Fire(faultinject.SiteJobRun); ferr != nil {
 		return nil, ferr
 	}
+	if e.watchdog > 0 {
+		return e.runWatched(ctx, j)
+	}
 	return e.run(ctx, j.Req)
 }
+
+// progressCtx is the watchdog's liveness tap: the simulator's interval
+// loop polls ctx.Err() once per sensor interval, so routing the
+// attempt's context through this wrapper turns every poll into a
+// progress tick — no hot-loop or stats-bus changes needed.
+type progressCtx struct {
+	context.Context
+	ticks *atomic.Uint64
+}
+
+func (p *progressCtx) Err() error {
+	p.ticks.Add(1)
+	return p.Context.Err()
+}
+
+func (p *progressCtx) Done() <-chan struct{} {
+	p.ticks.Add(1)
+	return p.Context.Done()
+}
+
+// runWatched executes the attempt on a child goroutine under a soft
+// watchdog: if the run neither finishes nor polls its context for a
+// full watchdog period, the attempt is force-failed with ErrStuck and
+// the wedged goroutine is abandoned (its eventual send lands in a
+// buffered channel). A run that merely takes long but keeps polling is
+// never shot — the watchdog watches progress, not duration.
+func (e *Engine) runWatched(ctx context.Context, j *Job) ([]byte, error) {
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var ticks atomic.Uint64
+	type outcome struct {
+		data []byte
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{nil, &panicError{val: r, stack: debug.Stack()}}
+			}
+		}()
+		data, err := e.run(&progressCtx{Context: wctx, ticks: &ticks}, j.Req)
+		ch <- outcome{data, err}
+	}()
+	poll := e.watchdog / 8
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	last := ticks.Load()
+	lastProgress := e.now()
+	for {
+		select {
+		case r := <-ch:
+			return r.data, r.err
+		case <-t.C:
+			if cur := ticks.Load(); cur != last {
+				last, lastProgress = cur, e.now()
+				continue
+			}
+			if e.now().Sub(lastProgress) >= e.watchdog {
+				cancel()
+				return nil, ErrStuck
+			}
+		}
+	}
+}
+
+// jobExpired reports whether the job's client deadline has passed.
+func (e *Engine) jobExpired(j *Job) bool {
+	h := j.home
+	h.mu.Lock()
+	d := j.deadline
+	h.mu.Unlock()
+	return !d.IsZero() && e.now().After(d)
+}
+
+// jobAbandoned reports whether the job's run context was cancelled
+// because its last synchronous waiter disconnected. A job that picked
+// up a new waiter (or a pinned async submitter) after the cancellation
+// raced in is revived with a fresh run context while still queued.
+func (e *Engine) jobAbandoned(j *Job) bool {
+	h := j.home
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if j.runCtx == nil || context.Cause(j.runCtx) != ErrAbandoned {
+		return false
+	}
+	if (j.waiters > 0 || j.pinned) && j.state == JobQueued {
+		j.runCtx, j.runCancel = context.WithCancelCause(e.baseCtx)
+		return false
+	}
+	return true
+}
+
+// noteLatency folds one attempt's wall-clock duration into the EWMA
+// (α = 0.2) that admission control multiplies by queue depth to
+// estimate wait time. Stored as float64 bits in an atomic, CAS-looped:
+// workers record concurrently and the submit path reads lock-free.
+func (e *Engine) noteLatency(d time.Duration) {
+	s := d.Seconds()
+	for {
+		old := e.latEWMA.Load()
+		next := s
+		if old != 0 {
+			next = 0.8*math.Float64frombits(old) + 0.2*s
+		}
+		if e.latEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// latencyEWMA returns the smoothed per-job latency, zero when no job
+// has completed an attempt yet.
+func (e *Engine) latencyEWMA() time.Duration {
+	return time.Duration(math.Float64frombits(e.latEWMA.Load()) * float64(time.Second))
+}
+
+// estimateWait is the admission-control wait estimate for a job landing
+// on shard sh: the jobs already queued there, each costing one EWMA
+// latency. Work stealing makes this pessimistic on idle siblings —
+// which is the right bias for a shedding decision.
+func (e *Engine) estimateWait(sh *shard) time.Duration {
+	return time.Duration(sh.qlen.Load()) * e.latencyEWMA()
+}
+
+// noteReject stamps the overload-hysteresis clock: the health state
+// machine reports overloaded for overloadHold after the last rejection.
+func (e *Engine) noteReject() {
+	e.lastReject.Store(e.now().UnixNano())
+}
+
+// RetryAfterSeconds is the Retry-After hint served with 429 responses:
+// the time to drain the current aggregate queue through all workers at
+// the observed per-job latency, rounded up, at least 1s.
+func (e *Engine) RetryAfterSeconds() int {
+	ewma := e.latencyEWMA()
+	if ewma <= 0 {
+		return 1
+	}
+	drain := time.Duration(e.queued.Load()) * ewma / time.Duration(len(e.workers))
+	secs := int((drain + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// Now returns the engine's current time through the injectable clock
+// seam — callers computing deadlines must use it so fake-clock tests
+// stay coherent.
+func (e *Engine) Now() time.Time { return e.now() }
 
 // panicError is a recovered worker panic in error form; the stack it
 // carries surfaces in JobStatus.Error.
@@ -589,6 +1014,18 @@ func (e *Engine) quarantine(id int, j *Job, cause error) {
 		rec.Req = c
 	}
 	e.journalAppend(rec)
+	e.settle(j)
+}
+
+// settle releases a job's run context and closes its done channel —
+// the single exit point for quarantine and finish.
+func (e *Engine) settle(j *Job) {
+	h := j.home
+	h.mu.Lock()
+	if j.runCancel != nil {
+		j.runCancel(nil)
+	}
+	h.mu.Unlock()
 	close(j.done)
 }
 
@@ -602,6 +1039,7 @@ func (e *Engine) finish(id int, j *Job, data []byte, err error) {
 	}
 	h.mu.Unlock()
 	w := e.workers[id]
+	journaled := false
 	if err != nil {
 		w.statsMu.Lock()
 		w.stats.failed++
@@ -609,10 +1047,12 @@ func (e *Engine) finish(id int, j *Job, data []byte, err error) {
 		// Shutdown-interrupted jobs keep their pending journal record
 		// so the next start replays them; genuine failures are terminal.
 		if !isShutdownErr(err) && !e.closing.Load() {
-			e.journalAppend(journal.Record{Op: journal.OpFailed, Key: j.Key, Err: err.Error()})
+			journaled = e.journalAppend(journal.Record{Op: journal.OpFailed, Key: j.Key, Err: err.Error()})
+		} else {
+			journaled = true // intentionally left pending, not a durability gap
 		}
 	} else {
-		e.journalAppend(journal.Record{Op: journal.OpDone, Key: j.Key})
+		journaled = e.journalAppend(journal.Record{Op: journal.OpDone, Key: j.Key})
 		w.statsMu.Lock()
 		w.stats.completed++
 		if j.Req.Multicore != nil {
@@ -628,7 +1068,12 @@ func (e *Engine) finish(id int, j *Job, data []byte, err error) {
 		}
 		w.statsMu.Unlock()
 	}
-	close(j.done)
+	if e.journal != nil && !journaled {
+		h.mu.Lock()
+		j.nonDurable = true
+		h.mu.Unlock()
+	}
+	e.settle(j)
 }
 
 // addUtilizationLocked folds one freshly simulated cell's utilization
@@ -705,6 +1150,17 @@ func runCell(ctx context.Context, req Request) ([]byte, error) {
 	return json.Marshal(r)
 }
 
+// SubmitOptions carries per-submission overload-protection options.
+type SubmitOptions struct {
+	// Deadline, when nonzero, is the latest wall-clock instant the
+	// caller still wants the result. Admission sheds the submission
+	// (ErrDeadlineUnmeetable) when the estimated queue wait already
+	// blows it; workers shed queued jobs whose deadline passed
+	// (ErrDeadlineExpired). Zero applies the engine's default deadline,
+	// if configured.
+	Deadline time.Time
+}
+
 // Submit registers the request and returns its job. The fast paths, in
 // order: an identical job already queued or running is shared
 // (single-flight); a cached result completes the job immediately; a
@@ -713,6 +1169,15 @@ func runCell(ctx context.Context, req Request) ([]byte, error) {
 // queue is at capacity. A previously failed key is re-enqueued
 // (failures are not cached).
 func (e *Engine) Submit(req Request) (*Job, error) {
+	return e.submit(req, SubmitOptions{}, false)
+}
+
+// SubmitOpts is Submit with overload-protection options.
+func (e *Engine) SubmitOpts(req Request, opt SubmitOptions) (*Job, error) {
+	return e.submit(req, opt, false)
+}
+
+func (e *Engine) submit(req Request, opt SubmitOptions, abandonable bool) (*Job, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -721,23 +1186,77 @@ func (e *Engine) Submit(req Request) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opt.Deadline.IsZero() && e.defaultDeadline > 0 {
+		opt.Deadline = e.now().Add(e.defaultDeadline)
+	}
 	sh := e.shardFor(key)
 	sh.mu.Lock()
-	j, _, err := e.submitLocked(sh, key, req, false)
+	j, _, err := e.submitLocked(sh, key, req, opt, false, abandonable)
 	sh.mu.Unlock()
 	return j, err
+}
+
+// SubmitWait submits on the synchronous path and blocks until the job
+// settles or ctx is done. When ctx dies first — the HTTP client behind
+// a ?wait=1 request disconnected — the waiter deregisters, and if it
+// was the job's only interested party (no other waiters, never joined
+// by an async/batch/replay submission) the job's run context is
+// cancelled with ErrAbandoned so the worker stops computing a result
+// nobody will read.
+func (e *Engine) SubmitWait(ctx context.Context, req Request, opt SubmitOptions) (JobStatus, error) {
+	j, err := e.submit(req, opt, true)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	h := j.home
+	h.mu.Lock()
+	if j.state == JobDone || j.state == JobFailed || j.state == JobQuarantined {
+		st := statusLocked(j)
+		h.mu.Unlock()
+		return st, nil
+	}
+	j.waiters++
+	h.mu.Unlock()
+	select {
+	case <-j.done:
+		h.mu.Lock()
+		j.waiters--
+		h.mu.Unlock()
+		return j.snapshot(), nil
+	case <-ctx.Done():
+		h.mu.Lock()
+		j.waiters--
+		if j.waiters == 0 && !j.pinned && j.runCancel != nil &&
+			(j.state == JobQueued || j.state == JobRunning) {
+			j.runCancel(ErrAbandoned)
+		}
+		h.mu.Unlock()
+		return JobStatus{}, ctx.Err()
+	}
 }
 
 // submitLocked is the admission path for one job; the caller holds
 // sh.mu. With reserved true (batch admission) the aggregate capacity
 // was claimed up front and enqueued reports whether this job actually
-// consumed a slot.
-func (e *Engine) submitLocked(sh *shard, key string, req Request, reserved bool) (j *Job, enqueued bool, err error) {
+// consumed a slot. abandonable marks a sole-synchronous-waiter
+// submission; any other join pins the job against client abandonment.
+func (e *Engine) submitLocked(sh *shard, key string, req Request, opt SubmitOptions, reserved, abandonable bool) (j *Job, enqueued bool, err error) {
 	if e.closed.Load() {
 		return nil, false, ErrShutdown
 	}
 	if j, ok := sh.jobs[key]; ok && (j.state == JobQueued || j.state == JobRunning) {
 		sh.deduped++
+		if !abandonable {
+			j.pinned = true
+		}
+		// The shared job honors the most generous deadline among its
+		// submitters: any no-deadline join clears it, otherwise the
+		// later deadline wins.
+		if opt.Deadline.IsZero() {
+			j.deadline = time.Time{}
+		} else if !j.deadline.IsZero() && opt.Deadline.After(j.deadline) {
+			j.deadline = opt.Deadline
+		}
 		return j, false, nil
 	}
 	if j, ok := sh.jobs[key]; ok && j.state == JobQuarantined {
@@ -758,10 +1277,20 @@ func (e *Engine) submitLocked(sh *shard, key string, req Request, reserved bool)
 		// Done but evicted from the cache: still serve the job's bytes.
 		return j, false, nil
 	}
+	if !opt.Deadline.IsZero() {
+		if wait := e.estimateWait(sh); wait > 0 && e.now().Add(wait).After(opt.Deadline) {
+			e.shedAdmission.Add(1)
+			e.noteReject()
+			return nil, false, ErrDeadlineUnmeetable
+		}
+	}
 	if !reserved && !e.reserveSlots(1) {
+		e.noteReject()
 		return nil, false, ErrQueueFull
 	}
-	j = &Job{Key: key, Req: req, home: sh, state: JobQueued, done: make(chan struct{})}
+	j = &Job{Key: key, Req: req, home: sh, state: JobQueued, done: make(chan struct{}),
+		deadline: opt.Deadline, pinned: !abandonable}
+	j.runCtx, j.runCancel = context.WithCancelCause(e.baseCtx)
 	// Journal ordering: the submit record lands before the job becomes
 	// runnable, so a crash between the two replays rather than loses it.
 	if c, err := req.Canonical(); err == nil {
@@ -780,9 +1309,19 @@ func (e *Engine) submitLocked(sh *shard, key string, req Request, reserved bool)
 // the whole batch is rejected with ErrQueueFull and nothing is
 // enqueued — no concurrent submitter can wedge a batch half in.
 func (e *Engine) SubmitBatch(breq BatchRequest) (*Batch, error) {
+	return e.SubmitBatchOpts(breq, SubmitOptions{})
+}
+
+// SubmitBatchOpts is SubmitBatch with overload-protection options; the
+// deadline applies to every cell, and a single unmeetable cell rejects
+// the whole batch (all-or-nothing, like capacity).
+func (e *Engine) SubmitBatchOpts(breq BatchRequest, opt SubmitOptions) (*Batch, error) {
 	key, err := breq.Key()
 	if err != nil {
 		return nil, err
+	}
+	if opt.Deadline.IsZero() && e.defaultDeadline > 0 {
+		opt.Deadline = e.now().Add(e.defaultDeadline)
 	}
 	spec, cells, err := breq.Cells()
 	if err != nil {
@@ -832,6 +1371,7 @@ func (e *Engine) SubmitBatch(breq BatchRequest) (*Batch, error) {
 	}
 	if !e.reserveSlots(need) {
 		unlock()
+		e.noteReject()
 		return nil, ErrQueueFull
 	}
 
@@ -840,10 +1380,11 @@ func (e *Engine) SubmitBatch(breq BatchRequest) (*Batch, error) {
 	used := 0
 	for i, c := range cells {
 		sh := e.shardFor(keys[i])
-		j, enq, err := e.submitLocked(sh, keys[i], c, true)
+		j, enq, err := e.submitLocked(sh, keys[i], c, opt, true, false)
 		if err != nil {
-			// Cannot happen after the admission check, but fail closed:
-			// release the unused reservation and surface the error.
+			// A cell was shed (deadline unmeetable) or the engine closed
+			// under us: release the unused reservation and reject the
+			// whole batch — admission stays all-or-nothing.
 			e.releaseSlot(need - used)
 			unlock()
 			b.state, b.err = JobFailed, err
@@ -913,7 +1454,7 @@ func (j *Job) snapshot() JobStatus {
 // statusLocked snapshots a job; the caller holds the home shard mutex.
 func statusLocked(j *Job) JobStatus {
 	st := JobStatus{Key: j.Key, State: j.state, Cached: j.cached, Req: j.Req,
-		Attempts: j.attempts, Panics: j.panics}
+		Attempts: j.attempts, Panics: j.panics, NonJournaled: j.nonDurable}
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}
@@ -1079,11 +1620,18 @@ func (e *Engine) Metrics() Metrics {
 	ready, _ := e.Ready()
 
 	m := Metrics{
-		UptimeSeconds: up,
-		JobsQueued:    int(e.queued.Load()),
-		JobsRunning:   int(e.running.Load()),
-		JournalErrors: e.journalErrs.Load(),
-		Ready:         ready,
+		UptimeSeconds:     up,
+		JobsQueued:        int(e.queued.Load()),
+		JobsRunning:       int(e.running.Load()),
+		JournalErrors:     e.journalErrs.Load(),
+		Ready:             ready,
+		JobsShedAdmission: e.shedAdmission.Load(),
+		JournalSkipped:    e.journalSkipped.Load(),
+		Durability:        e.durability(),
+		QueueWaitEWMAMS:   float64(e.latencyEWMA()) / float64(time.Millisecond),
+		CacheBreaker:      e.cbrk.Snapshot(),
+		JournalBreaker:    e.jbrk.Snapshot(),
+		Health:            e.healthMetrics(),
 		CacheHits:     cs.Hits,
 		CacheMisses:   cs.Misses,
 		CacheEntries:  cs.Entries,
@@ -1098,6 +1646,9 @@ func (e *Engine) Metrics() Metrics {
 			GCCycles:        ms.NumGC,
 			GCPauseTotalMS:  float64(ms.PauseTotalNs) / 1e6,
 		},
+	}
+	if e.cbrk.State() != BreakerClosed {
+		m.CacheDegraded = 1
 	}
 	for i, s := range e.shards {
 		m.Shards[i] = ShardMetrics{QueueDepth: int(s.qlen.Load())}
@@ -1122,6 +1673,9 @@ func (e *Engine) Metrics() Metrics {
 		m.JobPanics += st.panics
 		m.JobsQuarantined += st.quarantined
 		m.JobsStolen += st.stolen
+		m.JobsShedExpired += st.shedExpired
+		m.JobsClientAbandoned += st.abandoned
+		m.JobsWatchdogFired += st.watchdog
 		utilN += st.utilN
 		for h := 0; h < 2; h++ {
 			utilSum.IntQHalfOcc[h] += st.utilSum.IntQHalfOcc[h]
@@ -1205,18 +1759,166 @@ func scaleVec(v []float64, k float64) []float64 {
 	return out
 }
 
-// Ready reports whether the engine should receive traffic, with a
-// reason when it should not: false while journal replay is still
-// resubmitting recovered jobs, and from the moment a drain begins.
-// The HTTP /readyz endpoint serves this.
-func (e *Engine) Ready() (bool, string) {
-	if e.closing.Load() || e.draining.Load() {
-		return false, "draining"
+// HealthState is the engine's single degraded-mode state machine,
+// ordered by severity: healthy → degraded (a disk breaker is open:
+// serving and computing continue with reduced durability or cache
+// reach) → overloaded (shedding work, or still replaying the journal)
+// → draining (shutting down). It drives /readyz (503 only when
+// overloaded or draining), /statusz, and the /metrics health section.
+type HealthState string
+
+const (
+	HealthHealthy    HealthState = "healthy"
+	HealthDegraded   HealthState = "degraded"
+	HealthOverloaded HealthState = "overloaded"
+	HealthDraining   HealthState = "draining"
+)
+
+// evalHealth derives the current state from the engine's signals. A
+// rejection keeps the engine overloaded for overloadHold — hysteresis,
+// so one burst does not flap /readyz per request.
+func (e *Engine) evalHealth() HealthState {
+	switch {
+	case e.closing.Load() || e.draining.Load():
+		return HealthDraining
+	case !e.replayed.Load():
+		return HealthOverloaded
 	}
-	if !e.replayed.Load() {
-		return false, "journal replay"
+	if last := e.lastReject.Load(); last != 0 && e.now().UnixNano()-last < int64(e.overloadHold) {
+		return HealthOverloaded
+	}
+	if e.cbrk.State() != BreakerClosed || e.jbrk.State() != BreakerClosed {
+		return HealthDegraded
+	}
+	return HealthHealthy
+}
+
+// Health returns the current state and how long it has held, folding
+// transitions into the per-state entered counters.
+func (e *Engine) Health() (HealthState, time.Duration) {
+	cur := e.evalHealth()
+	e.healthMu.Lock()
+	defer e.healthMu.Unlock()
+	if cur != e.healthCur {
+		e.healthCur = cur
+		e.healthSince = e.now()
+		e.healthEntered[cur]++
+	}
+	return cur, e.now().Sub(e.healthSince)
+}
+
+// healthMetrics snapshots the health section for /metrics and /statusz.
+func (e *Engine) healthMetrics() HealthMetrics {
+	state, held := e.Health()
+	e.healthMu.Lock()
+	entered := make(map[string]uint64, len(e.healthEntered))
+	for s, n := range e.healthEntered {
+		entered[string(s)] = n
+	}
+	e.healthMu.Unlock()
+	return HealthMetrics{State: string(state), SinceSeconds: held.Seconds(), Entered: entered}
+}
+
+// Ready reports whether the engine should receive traffic, with a
+// reason when it should not. Degraded is still ready — a daemon
+// serving from memory with durability off beats no daemon — only
+// overloaded and draining fail the readiness probe. The HTTP /readyz
+// endpoint serves this.
+func (e *Engine) Ready() (bool, string) {
+	switch state, _ := e.Health(); state {
+	case HealthDraining:
+		return false, "draining"
+	case HealthOverloaded:
+		if !e.replayed.Load() {
+			return false, "journal replay"
+		}
+		return false, "overloaded"
 	}
 	return true, ""
+}
+
+// durability names the journal contract currently in force: "off" (no
+// journal configured), "journaled" (every transition WAL-logged), or
+// "none" (journal breaker open: work is accepted and computed but
+// transitions are not persisted; results settle NonJournaled and the
+// engine re-journals outstanding state when the disk recovers).
+func (e *Engine) durability() string {
+	switch {
+	case e.journal == nil:
+		return "off"
+	case e.jbrk.State() != BreakerClosed:
+		return "none"
+	default:
+		return "journaled"
+	}
+}
+
+// Statusz is the operator-facing /statusz snapshot: the health state
+// machine, the degraded-mode contracts in force, breaker internals, and
+// the overload-control readings behind recent admission decisions.
+type Statusz struct {
+	State          string            `json:"state"`
+	SinceSeconds   float64           `json:"since_seconds"`
+	Entered        map[string]uint64 `json:"entered"`
+	Ready          bool              `json:"ready"`
+	Reason         string            `json:"reason,omitempty"`
+	Durability     string            `json:"durability"`
+	CacheDegraded  bool              `json:"cache_degraded"`
+	CacheBreaker   BreakerSnapshot   `json:"cache_breaker"`
+	JournalBreaker BreakerSnapshot   `json:"journal_breaker"`
+
+	QueueDepth        int     `json:"queue_depth"`
+	QueueCapacity     int     `json:"queue_capacity"`
+	QueueWaitEWMAMS   float64 `json:"queue_wait_ewma_ms"`
+	RetryAfterSeconds int     `json:"retry_after_seconds"`
+	DefaultDeadlineMS int64   `json:"default_deadline_ms,omitempty"`
+	WatchdogMS        int64   `json:"watchdog_ms,omitempty"`
+
+	JobsShedExpired     uint64 `json:"jobs_shed_expired"`
+	JobsShedAdmission   uint64 `json:"jobs_shed_admission"`
+	JobsClientAbandoned uint64 `json:"jobs_client_abandoned"`
+	JobsWatchdogFired   uint64 `json:"jobs_watchdog_fired"`
+	JournalSkipped      uint64 `json:"journal_skipped"`
+	UptimeSeconds       float64 `json:"uptime_seconds"`
+}
+
+// Statusz returns the degraded-mode snapshot served at /statusz.
+func (e *Engine) Statusz() Statusz {
+	hm := e.healthMetrics()
+	ready, reason := e.Ready()
+	var shed, abandoned, watchdog uint64
+	for _, w := range e.workers {
+		w.statsMu.Lock()
+		shed += w.stats.shedExpired
+		abandoned += w.stats.abandoned
+		watchdog += w.stats.watchdog
+		w.statsMu.Unlock()
+	}
+	return Statusz{
+		State:          hm.State,
+		SinceSeconds:   hm.SinceSeconds,
+		Entered:        hm.Entered,
+		Ready:          ready,
+		Reason:         reason,
+		Durability:     e.durability(),
+		CacheDegraded:  e.cbrk.State() != BreakerClosed,
+		CacheBreaker:   e.cbrk.Snapshot(),
+		JournalBreaker: e.jbrk.Snapshot(),
+
+		QueueDepth:        int(e.queued.Load()),
+		QueueCapacity:     e.depth,
+		QueueWaitEWMAMS:   float64(e.latencyEWMA()) / float64(time.Millisecond),
+		RetryAfterSeconds: e.RetryAfterSeconds(),
+		DefaultDeadlineMS: e.defaultDeadline.Milliseconds(),
+		WatchdogMS:        e.watchdog.Milliseconds(),
+
+		JobsShedExpired:     shed,
+		JobsShedAdmission:   e.shedAdmission.Load(),
+		JobsClientAbandoned: abandoned,
+		JobsWatchdogFired:   watchdog,
+		JournalSkipped:      e.journalSkipped.Load(),
+		UptimeSeconds:       time.Since(e.start).Seconds(),
+	}
 }
 
 // BeginDrain flips readiness off ahead of Shutdown, so a load balancer

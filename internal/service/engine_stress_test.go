@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/rng"
 )
 
@@ -449,5 +450,114 @@ func TestEngineJitterSeedThreaded(t *testing.T) {
 	}
 	if strings.Count(fmt.Sprint(a), " ") != 2 {
 		t.Fatalf("expected 3 worker streams, got %v", a)
+	}
+}
+
+// TestEngineStressBatchAdmissionVsShutdown lands Shutdown in the
+// middle of a storm of batch and single-cell admissions, under -race
+// in CI. The properties: the batch path's all-or-nothing CAS
+// reservation never leaks capacity across a shutdown (the aggregate
+// reservation counter returns to exactly zero), and the journal's
+// pending set replays exactly — a restarted engine runs each
+// interrupted job once and drains completely.
+func TestEngineStressBatchAdmissionVsShutdown(t *testing.T) {
+	dir := t.TempDir()
+	jnl, recs, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	defer close(release)
+	e := NewEngine(EngineConfig{
+		Workers: 4, Shards: 4, QueueDepth: 16,
+		Journal: jnl, Replay: recs,
+		runFunc: func(ctx context.Context, req Request) ([]byte, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return stubResultJSON(req.Benchmark), nil
+		},
+	})
+
+	var wg sync.WaitGroup
+	for s := 0; s < 12; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				if s%2 == 0 {
+					_, err := e.Submit(Request{Benchmark: "eon", Cycles: int64(5_000_000 + s*16 + i), Warmup: 10_000})
+					if err != nil && err != ErrQueueFull && err != ErrShutdown {
+						t.Errorf("Submit: %v", err)
+					}
+					continue
+				}
+				breq := BatchRequest{Experiment: "fig6", Benchmarks: []string{"eon"}, Cycles: int64(6_000_000 + s*16 + i), Warmup: 10_000}
+				if _, err := e.SubmitBatch(breq); err != nil && err != ErrQueueFull && err != ErrShutdown {
+					t.Errorf("SubmitBatch: %v", err)
+				}
+			}
+		}(s)
+	}
+
+	// Shut down while admissions are in full flight. The short drain
+	// deadline forces the cancellation path for running jobs too, so
+	// pending covers both never-run and interrupted work.
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	e.Shutdown(ctx)
+	cancel()
+	wg.Wait()
+
+	// The CAS reservation balanced: every admitted slot was released by
+	// a pop, a shed, or the shutdown sweep; every rejected batch
+	// released its whole claim.
+	if q := e.queued.Load(); q != 0 {
+		t.Fatalf("aggregate reservation counter = %d after shutdown, want 0", q)
+	}
+
+	// Replay exactness: each pending key is unique, and a restarted
+	// engine runs exactly the pending set to completion.
+	jnl2, recs2, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending, _ := journal.Pending(recs2)
+	seen := make(map[string]bool, len(pending))
+	for _, r := range pending {
+		if seen[r.Key] {
+			t.Fatalf("key %s pending twice", r.Key)
+		}
+		seen[r.Key] = true
+	}
+
+	var runs2 atomic.Int64
+	e2 := NewEngine(EngineConfig{
+		Workers: 4, Shards: 4, QueueDepth: 2 * len(pending),
+		Journal: jnl2, Replay: recs2,
+		runFunc: func(ctx context.Context, req Request) ([]byte, error) {
+			runs2.Add(1)
+			return stubResultJSON(req.Benchmark), nil
+		},
+	})
+	defer shutdownEngine(t, e2)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m := e2.Metrics()
+		if m.Ready && m.JobsQueued == 0 && m.JobsRunning == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replay never drained: %+v", m)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runs2.Load(); got != int64(len(pending)) {
+		t.Fatalf("restart ran %d jobs for %d pending records", got, len(pending))
+	}
+	if m := e2.Metrics(); m.JobsCompleted != uint64(len(pending)) || m.JobsFailed != 0 {
+		t.Fatalf("replay accounting: %d completed / %d failed, want %d / 0", m.JobsCompleted, m.JobsFailed, len(pending))
 	}
 }

@@ -11,15 +11,23 @@
 //	                           loses requests
 //	GET  /metrics              engine + cache + Go-runtime counters and
 //	                           aggregated pipeline-utilization telemetry
+//	GET  /statusz              overload/degradation snapshot: health
+//	                           state machine, breaker states, durability
+//	                           mode, queue-wait estimate, shed counters
 //	GET  /debug/pprof/         live CPU/heap/goroutine profiling
 //
 // Submission bodies: a cell is {"benchmark","plan","techniques",
 // "cycles","warmup"}; a batch is {"experiment","benchmarks","cycles",
 // "warmup"} (the "experiment" field selects the shape); a multi-core
 // scheduling run is {"multicore":{...multicore.Params...}} and follows
-// the cell path (single job, cached by canonical request). ?wait=1
-// blocks until the job settles. A full queue answers 429, invalid
-// requests 400, unknown keys 404.
+// the cell path (single job, cached by canonical request). Either shape
+// may add "deadline_ms": jobs the queue cannot meet in time are
+// rejected up front, and expired queued jobs are shed unrun. ?wait=1
+// blocks until the job settles; if the waiting client disconnects and
+// no one else wants the job, the attempt is cancelled and counted
+// abandoned. Backpressure rejections (full queue, unmeetable deadline)
+// answer 429 with a Retry-After estimate; invalid requests 400,
+// unknown keys 404.
 package service
 
 import (
@@ -28,7 +36,9 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/multicore"
 	"repro/internal/sim"
@@ -50,6 +60,7 @@ func NewServer(e *Engine) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
 	// Live profiling: a long matrix run can be inspected in place with
 	// `go tool pprof http://host/debug/pprof/profile`.
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -68,8 +79,23 @@ type submitBody struct {
 	// Batch form.
 	Experiment string   `json:"experiment"`
 	Benchmarks []string `json:"benchmarks"`
+	// DeadlineMS, when positive, is a client deadline in milliseconds
+	// from now: admission rejects the job with 429 (and a Retry-After
+	// hint) if the estimated queue wait already exceeds it, and workers
+	// shed it unrun if it expires while queued. Not part of the job key
+	// — the same cell with a different deadline is still the same cell.
+	DeadlineMS int64 `json:"deadline_ms"`
 	// Cell form (Benchmark alone distinguishes it).
 	Request
+}
+
+// options lifts the wire-level deadline into engine submit options.
+func (b submitBody) options(e *Engine) SubmitOptions {
+	var opt SubmitOptions
+	if b.DeadlineMS > 0 {
+		opt.Deadline = e.Now().Add(time.Duration(b.DeadlineMS) * time.Millisecond)
+	}
+	return opt
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -85,22 +111,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.submitBatch(w, r, body, wait)
 		return
 	}
-	s.submitCell(w, r, body.Request, wait)
+	s.submitCell(w, r, body, wait)
 }
 
-func (s *Server) submitCell(w http.ResponseWriter, r *http.Request, req Request, wait bool) {
-	j, err := s.engine.Submit(req)
-	if err != nil {
-		httpError(w, submitStatus(err), err)
-		return
-	}
+func (s *Server) submitCell(w http.ResponseWriter, r *http.Request, body submitBody, wait bool) {
+	req, opt := body.Request, body.options(s.engine)
 	if wait {
-		st, err := s.engine.Wait(r.Context(), j.Key)
+		// The synchronous path ties the job to this request: if the
+		// client disconnects and nobody else wants the job, the engine
+		// cancels the attempt instead of computing for a closed socket.
+		st, err := s.engine.SubmitWait(r.Context(), req, opt)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			if r.Context().Err() != nil {
+				return // client is gone; nothing to answer
+			}
+			s.submitError(w, err)
 			return
 		}
 		writeJSON(w, jobHTTPStatus(st), st)
+		return
+	}
+	j, err := s.engine.SubmitOpts(req, opt)
+	if err != nil {
+		s.submitError(w, err)
 		return
 	}
 	st, _ := s.engine.Job(j.Key)
@@ -114,9 +147,9 @@ func (s *Server) submitBatch(w http.ResponseWriter, r *http.Request, body submit
 		Cycles:     body.Cycles,
 		Warmup:     body.Warmup,
 	}
-	b, err := s.engine.SubmitBatch(breq)
+	b, err := s.engine.SubmitBatchOpts(breq, body.options(s.engine))
 	if err != nil {
-		httpError(w, submitStatus(err), err)
+		s.submitError(w, err)
 		return
 	}
 	if wait {
@@ -219,11 +252,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.Metrics())
 }
 
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Statusz())
+}
+
 // --- helpers ---------------------------------------------------------------
+
+// submitError answers a failed submission. Backpressure rejections
+// (full queue, unmeetable deadline) carry a Retry-After hint computed
+// from the current queue depth and the recent per-job latency, so
+// well-behaved clients back off for about as long as the congestion
+// will actually take to clear.
+func (s *Server) submitError(w http.ResponseWriter, err error) {
+	code := submitStatus(err)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(s.engine.RetryAfterSeconds()))
+	}
+	httpError(w, code, err)
+}
 
 func submitStatus(err error) int {
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDeadlineUnmeetable):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrShutdown):
 		return http.StatusServiceUnavailable

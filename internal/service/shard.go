@@ -86,6 +86,9 @@ type workerStats struct {
 	panics      uint64
 	quarantined uint64
 	stolen      uint64
+	shedExpired uint64 // deadline passed before/between attempts
+	abandoned   uint64 // sole synchronous waiter disconnected
+	watchdog    uint64 // attempts force-failed for lack of progress
 
 	utilN   uint64
 	utilSum UtilizationMetrics
@@ -160,6 +163,25 @@ func (e *Engine) worker(id int) {
 			// Graceful shutdown drains *running* jobs; queued ones fail
 			// fast so clients can resubmit elsewhere.
 			e.finish(id, j, nil, ErrShutdown)
+			continue
+		}
+		// Shed before running: a job whose client gave up — deadline
+		// passed in the queue, or its only waiter disconnected — is
+		// failed in O(1) instead of burning a worker on it.
+		if e.jobAbandoned(j) {
+			w := e.workers[id]
+			w.statsMu.Lock()
+			w.stats.abandoned++
+			w.statsMu.Unlock()
+			e.finish(id, j, nil, ErrAbandoned)
+			continue
+		}
+		if e.jobExpired(j) {
+			w := e.workers[id]
+			w.statsMu.Lock()
+			w.stats.shedExpired++
+			w.statsMu.Unlock()
+			e.finish(id, j, nil, ErrDeadlineExpired)
 			continue
 		}
 		e.runJob(id, j)
